@@ -1,0 +1,209 @@
+"""E8 — ablations of the design choices DESIGN.md calls out.
+
+1. Unroll factor vs the instruction cache (the paper's §1: "naive loop
+   unrolling may cause the size of a loop to grow larger than the
+   instruction cache, and any gains ... may be more than offset by
+   degraded cache performance").
+2. Image width and alignment: rows of a 500-wide image (the paper's size)
+   are only quadword-aligned every other row, so the run-time alignment
+   checks route some rows to the safe loop; a 512-wide image keeps every
+   row aligned.  Measures how much of the coalescing win alignment costs.
+3. Scheduling's interaction with coalescing: the coalesced loop gathers
+   its memory dependences into one instruction (§1), so its benefit
+   depends on the scheduler hiding the remaining latencies.
+"""
+
+import pytest
+
+from repro.bench.programs import get_benchmark
+from repro.bench.workloads import lcg_bytes
+from repro.pipeline import compile_minic
+
+
+def run_image_add(compiled, n):
+    sim = compiled.simulator()
+    a_vals = lcg_bytes(n, seed=1)
+    b_vals = lcg_bytes(n, seed=2)
+    d = sim.alloc_array("d", size=n)
+    a = sim.alloc_array("a", bytes(a_vals))
+    b = sim.alloc_array("b", bytes(b_vals))
+    sim.call("image_add", d, a, b, n)
+    return sim.report()
+
+
+class TestUnrollVsICache:
+    @pytest.mark.parametrize("factor", [2, 4, 8])
+    def test_factor_sweep(self, benchmark, factor):
+        program = get_benchmark("image_add")
+        compiled = compile_minic(
+            program.source, "alpha", "coalesce-all", unroll_factor=factor
+        )
+        report = benchmark.pedantic(
+            run_image_add, args=(compiled, 2048), rounds=1, iterations=1
+        )
+        benchmark.extra_info.update(
+            {"unroll_factor": factor, "cycles": report.total_cycles}
+        )
+
+    def test_factor_8_is_best_on_alpha(self):
+        program = get_benchmark("image_add")
+        cycles = {}
+        for factor in (2, 4, 8):
+            compiled = compile_minic(
+                program.source, "alpha", "coalesce-all",
+                unroll_factor=factor,
+            )
+            cycles[factor] = run_image_add(compiled, 2048).total_cycles
+        # Byte kernels want the full quadword factor.
+        assert cycles[8] < cycles[4] < cycles[2]
+
+    def test_heuristic_refuses_oversized_bodies(self):
+        # The 68030's 256-byte I-cache rejects unrolling the convolution.
+        from repro.machine import get_machine
+        from repro.opt.pass_manager import PassContext
+        from repro.opt.unroll import estimate_unrolled_footprint
+
+        machine = get_machine("m68030")
+        ctx = PassContext(machine)
+        assert estimate_unrolled_footprint(60, 8, ctx) > (
+            machine.icache.size_bytes
+        )
+
+
+class TestWidthAlignmentAblation:
+    def _convolve(self, compiled, width, height):
+        sim = compiled.simulator()
+        pixels = width * height
+        src_vals = lcg_bytes(pixels, seed=9)
+        src = sim.alloc_array("src", bytes(src_vals))
+        dst = sim.alloc_array("dst", size=pixels)
+        sim.call("convolve", src, dst, width, height)
+        return sim.report()
+
+    def test_aligned_width_beats_unaligned_width(self, benchmark):
+        program = get_benchmark("convolution")
+        compiled = compile_minic(
+            program.source, "alpha", "coalesce-all", force_coalesce=True
+        )
+        vpo = compile_minic(program.source, "alpha", "vpo")
+
+        # 48 is a multiple of 8 (every row aligned); 52 ≡ 4 (mod 8)
+        # alternates, like the paper's 500.
+        aligned = benchmark.pedantic(
+            self._convolve, args=(compiled, 48, 24), rounds=1,
+            iterations=1,
+        )
+        unaligned = self._convolve(compiled, 52, 24)
+        base_aligned = self._convolve(vpo, 48, 24)
+        base_unaligned = self._convolve(vpo, 52, 24)
+
+        gain_aligned = 1 - aligned.total_cycles / base_aligned.total_cycles
+        gain_unaligned = (
+            1 - unaligned.total_cycles / base_unaligned.total_cycles
+        )
+        print(f"\nconvolution gain, rows always aligned:      "
+              f"{100 * gain_aligned:.1f}%")
+        print(f"convolution gain, rows alternating (like 500): "
+              f"{100 * gain_unaligned:.1f}%")
+        benchmark.extra_info.update(
+            {
+                "gain_aligned_percent": round(100 * gain_aligned, 2),
+                "gain_unaligned_percent": round(100 * gain_unaligned, 2),
+            }
+        )
+        assert gain_aligned > gain_unaligned
+        assert gain_aligned > 0.05
+
+
+class TestSchedulingInteraction:
+    def test_coalescing_gain_with_and_without_scheduling(self, benchmark):
+        program = get_benchmark("image_xor")
+        n = 4096
+        results = {}
+        for schedule in (False, True):
+            base = compile_minic(
+                program.source, "alpha", "vpo", schedule=schedule
+            )
+            coalesced = compile_minic(
+                program.source, "alpha", "coalesce-all", schedule=schedule
+            )
+            sim = base.simulator()
+            a_vals = lcg_bytes(n, seed=1)
+            b_vals = lcg_bytes(n, seed=2)
+            d = sim.alloc_array("d", size=n)
+            a = sim.alloc_array("a", bytes(a_vals))
+            b = sim.alloc_array("b", bytes(b_vals))
+            sim.call("image_xor", d, a, b, n)
+            base_cycles = sim.report().total_cycles
+
+            sim = coalesced.simulator()
+            d = sim.alloc_array("d", size=n)
+            a = sim.alloc_array("a", bytes(a_vals))
+            b = sim.alloc_array("b", bytes(b_vals))
+            sim.call("image_xor", d, a, b, n)
+            co_cycles = sim.report().total_cycles
+            results[schedule] = (base_cycles, co_cycles)
+
+        for schedule, (base_cycles, co_cycles) in results.items():
+            gain = 1 - co_cycles / base_cycles
+            print(f"\nscheduling={schedule}: gain {100 * gain:.1f}% "
+                  f"({base_cycles} -> {co_cycles})")
+        benchmark.extra_info["results"] = {
+            str(k): v for k, v in results.items()
+        }
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        # Coalescing wins in both regimes on the Alpha.
+        assert all(co < base for base, co in results.values())
+
+
+class TestUnalignedLoadsAblation:
+    """Figure 3's ALIGNED vs UNALIGNED wide types, measured.
+
+    The aligned form (one wide load, guarded by a preheader alignment
+    check) is fastest when the data cooperates; the unaligned form (two
+    ldq_u-style loads plus shifts, no check, no fallback) is robust to
+    any alignment.  This ablation quantifies the trade.
+    """
+
+    def _xor_cycles(self, program, n, offset):
+        sim = program.simulator()
+        a_vals = lcg_bytes(n, seed=3)
+        b_vals = lcg_bytes(n, seed=4)
+        d = sim.alloc_array("d", size=n)
+        a = sim.alloc_array("a", size=n + 8, offset=offset)
+        b = sim.alloc_array("b", size=n + 8, offset=offset)
+        sim.write_words(a, a_vals, 1)
+        sim.write_words(b, b_vals, 1)
+        sim.call("image_xor", d, a, b, n)
+        assert sim.read_words(d, n, 1, signed=False) == [
+            x ^ y for x, y in zip(a_vals, b_vals)
+        ]
+        return sim.report().total_cycles
+
+    def test_aligned_vs_unaligned_forms(self, benchmark):
+        program_src = get_benchmark("image_xor").source
+        aligned_form = compile_minic(program_src, "alpha", "coalesce-all")
+        unaligned_form = compile_minic(
+            program_src, "alpha", "coalesce-all", unaligned_loads=True
+        )
+        n = 2048
+        rows = {}
+        for label, program in (
+            ("aligned-form", aligned_form),
+            ("unaligned-form", unaligned_form),
+        ):
+            for offset in (0, 3):
+                rows[(label, offset)] = self._xor_cycles(
+                    program, n, offset
+                )
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        benchmark.extra_info["cycles"] = {
+            f"{l}@+{o}": c for (l, o), c in rows.items()
+        }
+        print()
+        for (label, offset), cycles in sorted(rows.items()):
+            print(f"  {label:>15} offset +{offset}: {cycles:>7} cycles")
+        # Aligned form wins on aligned data; unaligned form wins big on
+        # misaligned data (the aligned form's checks fail -> fallback).
+        assert rows[("aligned-form", 0)] <= rows[("unaligned-form", 0)]
+        assert rows[("unaligned-form", 3)] < rows[("aligned-form", 3)]

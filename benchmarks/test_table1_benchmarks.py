@@ -1,0 +1,33 @@
+"""E1 — Table I: the benchmark inventory.
+
+Regenerates the paper's Table I (program, description, lines of code) and
+times compilation of the whole suite as the benchmarked operation.
+"""
+
+from repro.bench.programs import TABLE_ORDER, get_benchmark
+from repro.bench.tables import format_table1, table1_rows
+from repro.pipeline import compile_minic
+
+
+def test_table1(benchmark):
+    def compile_all():
+        return [
+            compile_minic(get_benchmark(name).source, "alpha", "vpo")
+            for name in TABLE_ORDER
+        ]
+
+    compiled = benchmark.pedantic(compile_all, rounds=1, iterations=1)
+    assert len(compiled) == len(TABLE_ORDER)
+
+    rows = table1_rows()
+    print()
+    print("=" * 70)
+    print("TABLE I  (paper: Table I — compute- and memory-intensive "
+          "benchmarks)")
+    print("=" * 70)
+    print(format_table1())
+    benchmark.extra_info["programs"] = {
+        r["name"]: r["lines_of_code"] for r in rows
+    }
+    # Every Table I program is present with a plausible size.
+    assert len(rows) == 7

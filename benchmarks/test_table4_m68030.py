@@ -1,0 +1,76 @@
+"""E4 — the Motorola 68030 result (§3, reported in prose).
+
+"We also implemented the algorithm in a compiler for the Motorola 68030.
+Unfortunately, in all cases the code ran slower ... while the Motorola
+68030 has instructions for extracting bytes and words, these are much
+more expensive than simply loading the bytes and words directly."
+
+Two facts are reproduced:
+
+* with coalescing *forced* (as the paper measured), every program slows
+  down on the 68030;
+* left to itself, the profitability analysis (Figure 3) refuses to apply
+  the transformation on this machine.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_columns
+from repro.bench import run_benchmark, table_rows
+from repro.bench.harness import machine_overrides
+from repro.bench.programs import TABLE_ORDER, get_benchmark
+from repro.bench.tables import format_table
+from repro.pipeline import compile_minic
+
+_rows_cache = {}
+
+
+def rows_for(size):
+    key = (size["width"], size["height"])
+    if key not in _rows_cache:
+        _rows_cache[key] = {
+            r.benchmark: r for r in table_rows("m68030", **size)
+        }
+    return _rows_cache[key]
+
+
+@pytest.mark.parametrize("name", TABLE_ORDER)
+def test_forced_coalescing_loses(benchmark, bench_size, name):
+    rows = rows_for(bench_size)
+    row = rows[name]
+    assert row.output_ok
+
+    benchmark.pedantic(
+        run_benchmark,
+        args=(name, "m68030", "coalesce-all"),
+        kwargs=dict(check=False, **bench_size),
+        rounds=1,
+        iterations=1,
+    )
+    record_columns(benchmark, row)
+    assert row.coalesce_all > row.vpo, (
+        f"{name}: forced coalescing should lose on the 68030"
+    )
+
+
+def test_table4_full_print(bench_size):
+    rows = rows_for(bench_size)
+    print()
+    print("=" * 88)
+    print("'TABLE IV'  (paper §3 prose: Motorola 68030 — coalescing "
+          "forced, all programs slower)")
+    print("=" * 88)
+    print(format_table("m68030", [rows[n] for n in TABLE_ORDER]))
+
+
+@pytest.mark.parametrize("name", ["image_xor", "mirror", "dotproduct"])
+def test_profitability_analysis_declines(name):
+    program = get_benchmark(name)
+    compiled = compile_minic(
+        program.source, "m68030", "coalesce-all",
+        **machine_overrides("m68030"),
+    )
+    considered = [r for r in compiled.coalesce_reports if r.runs_found]
+    assert considered, "expected candidate runs"
+    assert not any(r.applied for r in considered)
+    assert any("not profitable" in r.skipped_reason for r in considered)

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""A realistic image-processing pipeline — the workload class the paper's
+introduction motivates.
+
+Chains four stages over a stream of frames (difference, accumulate, edge
+detect, mirror), all compiled through the coalescing pipeline, and reports
+per-stage and end-to-end effects on the simulated DEC Alpha.
+
+Run:  python examples/image_pipeline.py
+"""
+
+from repro import compile_minic
+from repro.bench.workloads import (
+    lcg_bytes,
+    ref_convolution,
+    ref_image_add,
+    ref_image_xor,
+    ref_mirror,
+)
+
+WIDTH, HEIGHT = 64, 48
+PIXELS = WIDTH * HEIGHT
+
+SOURCE = """
+void diff(unsigned char *dst, unsigned char *a, unsigned char *b, int n) {
+    int i;
+    for (i = 0; i < n; i++)
+        dst[i] = a[i] ^ b[i];
+}
+
+void accumulate(unsigned char *dst, unsigned char *a, unsigned char *b,
+                int n) {
+    int i, s;
+    for (i = 0; i < n; i++) {
+        s = a[i] + b[i];
+        s = s | ((255 - s) >> 31);
+        dst[i] = s;
+    }
+}
+
+void edges(unsigned char *src, unsigned char *dst, int width, int height) {
+    int x, y, gx, gy, m;
+    for (y = 1; y < height - 1; y++) {
+        for (x = 1; x < width - 1; x++) {
+            gx = src[(y-1)*width + (x+1)] - src[(y-1)*width + (x-1)]
+               + src[y*width + (x+1)]     - src[y*width + (x-1)]
+               + src[(y+1)*width + (x+1)] - src[(y+1)*width + (x-1)];
+            gy = src[(y+1)*width + (x-1)] - src[(y-1)*width + (x-1)]
+               + src[(y+1)*width + x]     - src[(y-1)*width + x]
+               + src[(y+1)*width + (x+1)] - src[(y-1)*width + (x+1)];
+            m = gx >> 31;
+            gx = (gx ^ m) - m;
+            m = gy >> 31;
+            gy = (gy ^ m) - m;
+            gx = gx + gy;
+            gx = gx | ((255 - gx) >> 31);
+            dst[(y-1)*width + (x-1)] = gx;
+        }
+    }
+}
+
+void mirror(unsigned char *src, unsigned char *dst, int width, int height) {
+    int x, y;
+    for (y = 0; y < height; y++)
+        for (x = 0; x < width; x++)
+            dst[y*width + (width - 1 - x)] = src[y*width + x];
+}
+"""
+
+
+def reference_pipeline(frame_a, frame_b, frame_c):
+    diffed = ref_image_xor(frame_a, frame_b)
+    accumulated = ref_image_add(diffed, frame_c)
+    edged = ref_convolution(accumulated, WIDTH, HEIGHT)
+    return ref_mirror(edged, WIDTH, HEIGHT)
+
+
+def run_pipeline(config):
+    program = compile_minic(SOURCE, "alpha", config)
+    sim = program.simulator()
+    frame_a = lcg_bytes(PIXELS, seed=101)
+    frame_b = lcg_bytes(PIXELS, seed=202)
+    frame_c = lcg_bytes(PIXELS, seed=303)
+
+    a = sim.alloc_array("a", bytes(frame_a))
+    b = sim.alloc_array("b", bytes(frame_b))
+    c = sim.alloc_array("c", bytes(frame_c))
+    t1 = sim.alloc_array("t1", size=PIXELS)
+    t2 = sim.alloc_array("t2", size=PIXELS)
+    t3 = sim.alloc_array("t3", size=PIXELS)
+    out = sim.alloc_array("out", size=PIXELS)
+
+    stage_cycles = {}
+    last = 0
+
+    sim.call("diff", t1, a, b, PIXELS)
+    stage_cycles["diff"] = sim.report().total_cycles - last
+    last = sim.report().total_cycles
+
+    sim.call("accumulate", t2, t1, c, PIXELS)
+    stage_cycles["accumulate"] = sim.report().total_cycles - last
+    last = sim.report().total_cycles
+
+    sim.call("edges", t2, t3, WIDTH, HEIGHT)
+    stage_cycles["edges"] = sim.report().total_cycles - last
+    last = sim.report().total_cycles
+
+    sim.call("mirror", t3, out, WIDTH, HEIGHT)
+    stage_cycles["mirror"] = sim.report().total_cycles - last
+
+    got = sim.read_words(out, PIXELS, 1, signed=False)
+    expected = reference_pipeline(frame_a, frame_b, frame_c)
+    assert got == expected, "pipeline output mismatch!"
+    return program, stage_cycles, sim.report()
+
+
+def main():
+    print(f"Four-stage image pipeline over a {WIDTH}x{HEIGHT} frame on "
+          f"the simulated Alpha\n")
+    baseline = None
+    for config in ("vpo", "coalesce-loads", "coalesce-all"):
+        program, stages, report = run_pipeline(config)
+        total = report.total_cycles
+        if baseline is None:
+            baseline = total
+        coalesced = sorted(
+            {r.function for r in program.coalesce_reports if r.applied}
+        )
+        print(f"--- {config} ---")
+        for stage, cycles in stages.items():
+            print(f"  {stage:>10}: {cycles:>8} cycles")
+        print(f"  {'total':>10}: {total:>8} cycles  "
+              f"({100 * (baseline - total) / baseline:+.1f}% vs vpo)")
+        print(f"  coalesced kernels: {', '.join(coalesced) or 'none'}\n")
+    print("Output verified bit-for-bit against the Python reference at "
+          "every configuration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a MiniC kernel with memory access coalescing and
+measure the effect.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_minic
+
+SOURCE = """
+/* Blend two byte images: dst = (3*a + b) / 4, saturating arithmetic not
+ * needed because the result always fits a byte. */
+void blend(unsigned char *dst, unsigned char *a, unsigned char *b, int n) {
+    int i;
+    for (i = 0; i < n; i++)
+        dst[i] = (a[i] * 3 + b[i]) >> 2;
+}
+"""
+
+N = 4096
+
+
+def run(config):
+    program = compile_minic(SOURCE, machine="alpha", config=config)
+    sim = program.simulator()
+    a_values = bytes((i * 37) % 256 for i in range(N))
+    b_values = bytes((i * 11) % 256 for i in range(N))
+    dst = sim.alloc_array("dst", size=N)
+    a = sim.alloc_array("a", a_values)
+    b = sim.alloc_array("b", b_values)
+    sim.call("blend", dst, a, b, N)
+
+    # Verify against plain Python.
+    expected = [(x * 3 + y) >> 2 & 0xFF for x, y in zip(a_values, b_values)]
+    got = sim.read_words(dst, N, 1, signed=False)
+    assert got == expected, "simulated output does not match the reference!"
+    return program, sim.report()
+
+
+def main():
+    print(f"Blending two {N}-byte images on the simulated DEC Alpha\n")
+    baseline_report = None
+    for config in ("cc", "vpo", "coalesce-loads", "coalesce-all"):
+        program, report = run(config)
+        note = ""
+        if baseline_report is None and config == "vpo":
+            pass
+        if config == "vpo":
+            baseline_report = report
+        if baseline_report is not None and config != "vpo":
+            note = (f"   ({report.percent_savings_over(baseline_report):+.1f}%"
+                    f" vs vpo)")
+        coalesced = sum(1 for r in program.coalesce_reports if r.applied)
+        print(
+            f"{config:>15}: {report.total_cycles:>8} cycles, "
+            f"{report.memory_accesses:>6} memory refs, "
+            f"{coalesced} loop(s) coalesced{note}"
+        )
+    print("\nThe coalesced configurations replace eight 1-byte loads with "
+          "one 8-byte load\n(and eight read-modify-write byte stores with "
+          "one 8-byte store), exactly as\nDavidson & Jinturkar's PLDI'94 "
+          "paper describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Retargeting: the same kernel on all three of the paper's machines.
+
+The paper's central empirical finding is that memory access coalescing is
+*machine-dependent*: a large win on the DEC Alpha (which has no narrow
+loads or stores at all), a loads-only win on the Motorola 88100 (cheap
+field extraction, no field insertion), and a loss on the Motorola 68030
+(bit-field instructions slower than narrow memory operations).  This
+example shows all three behaviours — and the profitability analysis
+(Figure 3) predicting them.
+
+Run:  python examples/retarget_comparison.py
+"""
+
+from repro import compile_minic
+from repro.bench.workloads import lcg_bytes
+
+SOURCE = """
+void brighten(unsigned char *dst, unsigned char *src, int n) {
+    int i, s;
+    for (i = 0; i < n; i++) {
+        s = src[i] + 32;
+        s = s | ((255 - s) >> 31);   /* saturate at white */
+        dst[i] = s;
+    }
+}
+"""
+
+N = 4096
+
+
+def measure(machine, config, force=False):
+    overrides = {"force_coalesce": force}
+    if machine == "m68030":
+        overrides["unroll_factor"] = 4
+    program = compile_minic(SOURCE, machine, config, **overrides)
+    sim = program.simulator()
+    src_values = lcg_bytes(N, seed=42)
+    dst = sim.alloc_array("dst", size=N)
+    src = sim.alloc_array("src", bytes(src_values))
+    sim.call("brighten", dst, src, N)
+    got = sim.read_words(dst, N, 1, signed=False)
+    assert got == [min(v + 32, 255) for v in src_values]
+    return program, sim.report().total_cycles
+
+
+def main():
+    print(f"brighten() over {N} pixels, simulated on each of the paper's "
+          f"machines\n")
+    for machine in ("alpha", "m88100", "m68030"):
+        _, vpo = measure(machine, "vpo")
+        _, loads = measure(machine, "coalesce-loads", force=True)
+        _, both = measure(machine, "coalesce-all", force=True)
+        program, _ = measure(machine, "coalesce-all", force=False)
+
+        decisions = [
+            ("applied" if r.applied else f"declined: {r.skipped_reason}")
+            for r in program.coalesce_reports
+            if r.runs_found
+        ]
+        print(f"=== {machine} ===")
+        print(f"  vpo baseline:            {vpo:>8} cycles")
+        print(f"  loads coalesced (forced): {loads:>7} cycles "
+              f"({100 * (vpo - loads) / vpo:+.1f}%)")
+        print(f"  loads+stores (forced):    {both:>7} cycles "
+              f"({100 * (vpo - both) / vpo:+.1f}%)")
+        print(f"  profitability analysis:  {decisions[0] if decisions else 'no candidates'}")
+        print()
+
+    print("Compare the paper's §3: Alpha 5-40% faster, 88100 up to 25% "
+          "faster for\nloads (stores hurt), 68030 slower in all cases — "
+          "and its compiler should\nrefuse to apply the transformation "
+          "there, which ours does.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE`` — compile a MiniC file and print the final RTL.
+* ``run FILE --entry F --args ...`` — compile, simulate, report cycles.
+* ``tables`` — regenerate the paper's tables.
+* ``machines`` — list the supported machine models.
+
+Examples::
+
+    python -m repro compile kernel.c --machine alpha --config coalesce-all
+    python -m repro run kernel.c --entry dotproduct --array a:2:1,2,3,4 \\
+        --array b:2:5,6,7,8 --args a b 4
+    python -m repro tables --machine alpha --size 48
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import MACHINE_NAMES, PRESETS, compile_minic
+from repro.ir import format_module
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine", default="alpha", choices=sorted(MACHINE_NAMES),
+        help="target machine model",
+    )
+    parser.add_argument(
+        "--config", default="vpo", choices=sorted(PRESETS),
+        help="pipeline configuration",
+    )
+    parser.add_argument(
+        "--unroll-factor", type=int, default=None,
+        help="override the unroll heuristic",
+    )
+    parser.add_argument(
+        "--force-coalesce", action="store_true",
+        help="bypass the profitability analysis",
+    )
+    parser.add_argument(
+        "--unaligned-loads", action="store_true",
+        help="use unaligned wide loads (no alignment checks; Alpha only)",
+    )
+    parser.add_argument(
+        "--regalloc", action="store_true",
+        help="bind virtual registers to the machine register file",
+    )
+
+
+def _compile_from_args(args) -> object:
+    with open(args.file) as handle:
+        source = handle.read()
+    return compile_minic(
+        source,
+        args.machine,
+        args.config,
+        unroll_factor=args.unroll_factor,
+        force_coalesce=args.force_coalesce,
+        unaligned_loads=args.unaligned_loads,
+        regalloc=args.regalloc,
+    )
+
+
+def cmd_compile(args) -> int:
+    program = _compile_from_args(args)
+    print(format_module(program.module))
+    for report in program.coalesce_reports:
+        if report.runs_found:
+            print(f"# {report}", file=sys.stderr)
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _compile_from_args(args)
+    sim = program.simulator()
+    addresses = {}
+    for spec in args.array or []:
+        name, width, values = spec.split(":", 2)
+        width = int(width)
+        values = [int(v, 0) for v in values.split(",")] if values else []
+        address = sim.alloc_array(
+            name, size=max(len(values), 1) * width
+        )
+        sim.write_words(address, values, width)
+        addresses[name] = address
+
+    call_args = []
+    for arg in args.args or []:
+        if arg in addresses:
+            call_args.append(addresses[arg])
+        else:
+            call_args.append(int(arg, 0))
+    result = sim.call(args.entry, *call_args)
+    if result is not None:
+        bits = program.machine.word_bits
+        if result >= 1 << (bits - 1):
+            result -= 1 << bits
+        print(f"result: {result}")
+    report = sim.report()
+    print(f"cycles: {report.total_cycles}")
+    print(f"instructions: {report.instr_count}")
+    print(f"memory references: {report.memory_accesses}")
+    for name in addresses:
+        if args.dump:
+            width = int(
+                next(s for s in args.array if s.startswith(name + ":"))
+                .split(":")[1]
+            )
+            count = min(args.dump, 64)
+            print(f"{name}[0:{count}] =",
+                  sim.read_words(addresses[name], count, width))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.bench.tables import format_table, format_table1, table_rows
+
+    if args.machine_filter in (None, "table1"):
+        print(format_table1())
+        print()
+    machines = (
+        [args.machine_filter]
+        if args.machine_filter in MACHINE_NAMES
+        else sorted(MACHINE_NAMES)
+    )
+    for machine in machines:
+        rows = table_rows(machine, width=args.size, height=args.size)
+        print(format_table(machine, rows))
+        print()
+    return 0
+
+
+def cmd_machines(args) -> int:
+    from repro import get_machine
+
+    for name in sorted(MACHINE_NAMES):
+        machine = get_machine(name)
+        traits = []
+        if not machine.supports_load(1):
+            traits.append("no narrow loads/stores")
+        if machine.has_unaligned_wide:
+            traits.append("unaligned wide access")
+        if not machine.has_insert:
+            traits.append("no field insert")
+        if not machine.pipelined:
+            traits.append("non-pipelined")
+        print(
+            f"{name:8s} {machine.word_bytes * 8}-bit {machine.endian}-"
+            f"endian, issue {machine.issue_width}, "
+            f"{machine.num_registers} regs"
+            + (f" ({', '.join(traits)})" if traits else "")
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Memory access coalescing (PLDI 1994) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile and print RTL")
+    p_compile.add_argument("file")
+    _add_common(p_compile)
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_run = sub.add_parser("run", help="compile and simulate")
+    p_run.add_argument("file")
+    p_run.add_argument("--entry", required=True)
+    p_run.add_argument(
+        "--array", action="append",
+        help="stage an array: NAME:WIDTH:v1,v2,...",
+    )
+    p_run.add_argument(
+        "--args", nargs="*",
+        help="call arguments (array names resolve to addresses)",
+    )
+    p_run.add_argument("--dump", type=int, default=0,
+                       help="dump first N elements of each array after")
+    _add_common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_tables = sub.add_parser("tables", help="regenerate paper tables")
+    p_tables.add_argument("--machine", dest="machine_filter", default=None)
+    p_tables.add_argument("--size", type=int, default=48)
+    p_tables.set_defaults(func=cmd_tables)
+
+    p_machines = sub.add_parser("machines", help="list machine models")
+    p_machines.set_defaults(func=cmd_machines)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Control-flow and dataflow analyses.
+
+These are the prerequisites of the optimizer and the coalescer: dominator
+trees, natural loop discovery (with preheader insertion), liveness,
+reaching definitions, induction variables, and counted-loop trip-count
+recognition.
+"""
+
+from repro.analysis.cfgutil import (
+    predecessors,
+    reachable_labels,
+    reverse_postorder,
+)
+from repro.analysis.dominators import dominator_sets, dominates, immediate_dominators
+from repro.analysis.loops import Loop, ensure_preheader, find_loops
+from repro.analysis.liveness import LivenessInfo, liveness
+from repro.analysis.reaching import ReachingDefs, reaching_definitions
+from repro.analysis.induction import BasicIV, find_basic_ivs
+from repro.analysis.tripcount import TripCount, analyze_trip_count
+
+__all__ = [
+    "BasicIV",
+    "LivenessInfo",
+    "Loop",
+    "ReachingDefs",
+    "TripCount",
+    "analyze_trip_count",
+    "dominator_sets",
+    "dominates",
+    "ensure_preheader",
+    "find_basic_ivs",
+    "find_loops",
+    "immediate_dominators",
+    "liveness",
+    "predecessors",
+    "reachable_labels",
+    "reaching_definitions",
+    "reverse_postorder",
+]

@@ -1,0 +1,60 @@
+"""Small CFG helpers shared by every analysis."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import Function
+
+
+def predecessors(func: Function) -> Dict[str, List[str]]:
+    """Map each block label to the labels of its predecessors.
+
+    Edge multiplicity is collapsed: a conditional jump with both arms at
+    the same target contributes one predecessor entry.
+    """
+    preds: Dict[str, List[str]] = {b.label: [] for b in func.blocks}
+    for block in func.blocks:
+        for succ in set(block.successors()):
+            preds[succ].append(block.label)
+    return preds
+
+
+def reachable_labels(func: Function) -> Set[str]:
+    """Labels reachable from the entry block."""
+    seen: Set[str] = set()
+    work = [func.entry.label]
+    while work:
+        label = work.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        work.extend(func.block(label).successors())
+    return seen
+
+
+def reverse_postorder(func: Function) -> List[str]:
+    """Reverse postorder over reachable blocks (good order for forward
+    dataflow problems)."""
+    seen: Set[str] = set()
+    order: List[str] = []
+
+    def visit(label: str) -> None:
+        stack = [(label, iter(func.block(label).successors()))]
+        seen.add(label)
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(func.block(succ).successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(func.entry.label)
+    order.reverse()
+    return order

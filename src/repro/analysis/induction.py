@@ -1,0 +1,94 @@
+"""Basic induction variable discovery (``FindInductionVars`` of Figure 2).
+
+A *basic induction variable* of a loop is a register whose only in-loop
+definitions are increments by a loop-invariant constant
+(``r = r + c`` / ``r = r - c``), each executing exactly once per iteration
+(enforced by requiring every increment's block to dominate every latch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.dominators import dominates, immediate_dominators
+from repro.analysis.loops import Loop
+from repro.ir.function import Function
+from repro.ir.rtl import BinOp, Const, Reg
+
+
+@dataclass
+class BasicIV:
+    """One basic induction variable."""
+
+    reg: Reg
+    step: int  # net signed change per iteration
+    sites: List[Tuple[str, int]] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"<BasicIV r{self.reg.index} step={self.step:+d}>"
+
+
+def _increment_of(instr, reg_index: int) -> Optional[int]:
+    """If ``instr`` is ``rX = rX ± const`` return the signed step."""
+    if not isinstance(instr, BinOp):
+        return None
+    if instr.dst.index != reg_index:
+        return None
+    if instr.op == "add":
+        if (
+            isinstance(instr.a, Reg)
+            and instr.a.index == reg_index
+            and isinstance(instr.b, Const)
+        ):
+            return instr.b.value
+        if (
+            isinstance(instr.b, Reg)
+            and instr.b.index == reg_index
+            and isinstance(instr.a, Const)
+        ):
+            return instr.a.value
+    if instr.op == "sub":
+        if (
+            isinstance(instr.a, Reg)
+            and instr.a.index == reg_index
+            and isinstance(instr.b, Const)
+        ):
+            return -instr.b.value
+    return None
+
+
+def find_basic_ivs(func: Function, loop: Loop) -> Dict[int, BasicIV]:
+    """Map register index -> :class:`BasicIV` for ``loop``."""
+    idom = immediate_dominators(func)
+
+    # Gather all in-loop definitions per register.
+    def_sites: Dict[int, List[Tuple[str, int]]] = {}
+    for label in loop.blocks:
+        block = func.block(label)
+        for index, instr in enumerate(block.instrs):
+            for reg in instr.defs():
+                def_sites.setdefault(reg.index, []).append((label, index))
+
+    ivs: Dict[int, BasicIV] = {}
+    for reg_index, sites in def_sites.items():
+        step = 0
+        reg_obj: Optional[Reg] = None
+        is_iv = True
+        for label, index in sites:
+            instr = func.block(label).instrs[index]
+            increment = _increment_of(instr, reg_index)
+            if increment is None:
+                is_iv = False
+                break
+            # Each increment must run exactly once per iteration.
+            if not all(
+                dominates(idom, label, latch) for latch in loop.latches
+            ):
+                is_iv = False
+                break
+            step += increment
+            reg_obj = instr.dst
+        if is_iv and reg_obj is not None and step != 0:
+            ivs[reg_index] = BasicIV(reg_obj, step, sites)
+    return ivs

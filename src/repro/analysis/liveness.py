@@ -1,0 +1,83 @@
+"""Classic backward liveness analysis over virtual registers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.analysis.cfgutil import predecessors, reachable_labels
+from repro.ir.function import Function
+from repro.ir.rtl import Instr
+
+
+class LivenessInfo:
+    """Live-in / live-out register index sets per block."""
+
+    def __init__(
+        self,
+        live_in: Dict[str, Set[int]],
+        live_out: Dict[str, Set[int]],
+    ):
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def live_after(self, func: Function, label: str) -> List[Set[int]]:
+        """Registers live *after* each instruction of block ``label``.
+
+        Returned list is parallel to ``block.instrs``.
+        """
+        block = func.block(label)
+        live = set(self.live_out[label])
+        after: List[Set[int]] = [set()] * len(block.instrs)
+        for index in range(len(block.instrs) - 1, -1, -1):
+            after[index] = set(live)
+            instr = block.instrs[index]
+            for reg in instr.defs():
+                live.discard(reg.index)
+            for reg in instr.uses():
+                live.add(reg.index)
+        return after
+
+
+def _block_use_def(instrs: List[Instr]) -> (set, set):
+    use: Set[int] = set()
+    define: Set[int] = set()
+    for instr in instrs:
+        for reg in instr.uses():
+            if reg.index not in define:
+                use.add(reg.index)
+        for reg in instr.defs():
+            define.add(reg.index)
+    return use, define
+
+
+def liveness(func: Function) -> LivenessInfo:
+    """Compute liveness for every reachable block of ``func``."""
+    reachable = reachable_labels(func)
+    labels = [b.label for b in func.blocks if b.label in reachable]
+    use: Dict[str, Set[int]] = {}
+    define: Dict[str, Set[int]] = {}
+    for label in labels:
+        use[label], define[label] = _block_use_def(func.block(label).instrs)
+
+    live_in: Dict[str, Set[int]] = {label: set() for label in labels}
+    live_out: Dict[str, Set[int]] = {label: set() for label in labels}
+
+    changed = True
+    while changed:
+        changed = False
+        for label in reversed(labels):
+            out: Set[int] = set()
+            for succ in func.block(label).successors():
+                if succ in live_in:
+                    out |= live_in[succ]
+            new_in = use[label] | (out - define[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+
+    # Unreachable blocks: empty sets, so callers need no special cases.
+    for block in func.blocks:
+        live_in.setdefault(block.label, set())
+        live_out.setdefault(block.label, set())
+    return LivenessInfo(live_in, live_out)

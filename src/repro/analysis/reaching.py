@@ -1,0 +1,116 @@
+"""Reaching definitions.
+
+Definitions are identified as ``(block_label, instr_index)`` pairs.  Used
+by global copy propagation and by the induction variable analysis (a basic
+IV needs *all* its in-loop definitions to be increments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfgutil import predecessors, reachable_labels
+from repro.ir.function import Function
+
+DefSite = Tuple[str, int]
+
+
+class ReachingDefs:
+    """Reaching-definition sets plus convenience queries."""
+
+    def __init__(
+        self,
+        func: Function,
+        reach_in: Dict[str, Set[DefSite]],
+        defs_of: Dict[int, Set[DefSite]],
+    ):
+        self.func = func
+        self.reach_in = reach_in
+        self.defs_of = defs_of
+
+    def reaching_at(
+        self, label: str, index: int, reg_index: int
+    ) -> Set[DefSite]:
+        """Definitions of ``reg_index`` reaching instruction ``index`` of
+        block ``label``."""
+        live: Set[DefSite] = {
+            site
+            for site in self.reach_in.get(label, set())
+            if self._defines(site, reg_index)
+        }
+        block = self.func.block(label)
+        for position in range(index):
+            instr = block.instrs[position]
+            if any(r.index == reg_index for r in instr.defs()):
+                live = {(label, position)}
+        return live
+
+    def unique_def_at(
+        self, label: str, index: int, reg_index: int
+    ) -> Optional[DefSite]:
+        sites = self.reaching_at(label, index, reg_index)
+        if len(sites) == 1:
+            return next(iter(sites))
+        return None
+
+    def _defines(self, site: DefSite, reg_index: int) -> bool:
+        block_label, position = site
+        instr = self.func.block(block_label).instrs[position]
+        return any(r.index == reg_index for r in instr.defs())
+
+
+def reaching_definitions(func: Function) -> ReachingDefs:
+    """Solve the forward reaching-definitions dataflow problem."""
+    reachable = reachable_labels(func)
+    labels = [b.label for b in func.blocks if b.label in reachable]
+    preds = predecessors(func)
+
+    # Collect all definition sites per register.
+    defs_of: Dict[int, Set[DefSite]] = {}
+    gen: Dict[str, Dict[int, DefSite]] = {}
+    for label in labels:
+        block = func.block(label)
+        last_def: Dict[int, DefSite] = {}
+        for index, instr in enumerate(block.instrs):
+            for reg in instr.defs():
+                site = (label, index)
+                defs_of.setdefault(reg.index, set()).add(site)
+                last_def[reg.index] = site
+        gen[label] = last_def
+
+    reach_in: Dict[str, Set[DefSite]] = {label: set() for label in labels}
+    reach_out: Dict[str, Set[DefSite]] = {label: set() for label in labels}
+
+    def transfer(label: str, into: Set[DefSite]) -> Set[DefSite]:
+        killed_regs = set(gen[label])
+        out = {
+            site
+            for site in into
+            if not _site_defines_any(func, site, killed_regs)
+        }
+        out |= set(gen[label].values())
+        return out
+
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            into: Set[DefSite] = set()
+            for pred in preds[label]:
+                if pred in reach_out:
+                    into |= reach_out[pred]
+            out = transfer(label, into)
+            if into != reach_in[label] or out != reach_out[label]:
+                reach_in[label] = into
+                reach_out[label] = out
+                changed = True
+
+    return ReachingDefs(func, reach_in, defs_of)
+
+
+def _site_defines_any(
+    func: Function, site: DefSite, reg_indices: Set[int]
+) -> bool:
+    label, index = site
+    instr = func.block(label).instrs[index]
+    return any(r.index in reg_indices for r in instr.defs())

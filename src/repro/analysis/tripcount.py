@@ -1,0 +1,110 @@
+"""Counted-loop recognition.
+
+A loop is *counted* when its single latch ends in a comparison between a
+basic induction variable and a loop-invariant bound, and the IV's step
+moves toward the bound.  The unroller and the coalescer read the result:
+
+* ``iv``/``step``: the counter and its per-iteration change;
+* ``bound``: the loop-invariant operand (register or constant);
+* ``rel``: the relation under which the loop *continues*;
+* ``exit_label``: where control goes when the loop finishes.
+
+The structure is symbolic — start values and trip counts are run-time
+quantities.  Transformations emit preheader code that reads the IV and the
+bound registers directly; because our front end rotates loops (zero-trip
+guard before the preheader), the loop is known to execute at least once
+there, so ``(bound - iv)`` arithmetic in the preheader is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.induction import BasicIV, find_basic_ivs
+from repro.analysis.loops import Loop
+from repro.ir.function import Function
+from repro.ir.rtl import CondJump, Const, Operand, Reg, invert_relation, swap_relation
+
+_INCREASING_RELS = frozenset({"lt", "le", "ltu", "leu", "ne"})
+_DECREASING_RELS = frozenset({"gt", "ge", "gtu", "geu", "ne"})
+
+
+@dataclass
+class TripCount:
+    """Symbolic description of a counted loop."""
+
+    loop: Loop
+    iv: BasicIV
+    bound: Operand
+    rel: str          # relation under which the loop continues
+    exit_label: str
+    latch_label: str
+
+    @property
+    def step(self) -> int:
+        return self.iv.step
+
+    def __repr__(self) -> str:
+        return (
+            f"<TripCount r{self.iv.reg.index} step={self.step:+d} "
+            f"{self.rel} {self.bound}>"
+        )
+
+
+def _loop_invariant(func: Function, loop: Loop, value: Operand) -> bool:
+    if isinstance(value, Const):
+        return True
+    for label in loop.blocks:
+        for instr in func.block(label).instrs:
+            if any(r.index == value.index for r in instr.defs()):
+                return False
+    return True
+
+
+def analyze_trip_count(
+    func: Function,
+    loop: Loop,
+    ivs: Optional[Dict[int, BasicIV]] = None,
+) -> Optional[TripCount]:
+    """Recognize ``loop`` as counted; returns ``None`` when it is not."""
+    if len(loop.latches) != 1:
+        return None
+    latch_label = next(iter(loop.latches))
+    term = func.block(latch_label).terminator
+    if not isinstance(term, CondJump):
+        return None
+
+    if term.iftrue == loop.header and term.iffalse not in loop.blocks:
+        rel, a, b = term.rel, term.a, term.b
+        exit_label = term.iffalse
+    elif term.iffalse == loop.header and term.iftrue not in loop.blocks:
+        rel, a, b = invert_relation(term.rel), term.a, term.b
+        exit_label = term.iftrue
+    else:
+        return None
+
+    if ivs is None:
+        ivs = find_basic_ivs(func, loop)
+
+    # Orient the comparison as "iv REL bound".
+    candidates = []
+    if isinstance(a, Reg) and a.index in ivs:
+        candidates.append((ivs[a.index], b, rel))
+    if isinstance(b, Reg) and b.index in ivs:
+        candidates.append((ivs[b.index], a, swap_relation(rel)))
+    for iv, bound, oriented_rel in candidates:
+        if not _loop_invariant(func, loop, bound):
+            continue
+        if iv.step > 0 and oriented_rel in _INCREASING_RELS:
+            pass
+        elif iv.step < 0 and oriented_rel in _DECREASING_RELS:
+            pass
+        else:
+            continue
+        if oriented_rel == "ne" and abs(iv.step) != 1:
+            # iv may step over the bound; not provably counted.
+            continue
+        return TripCount(loop, iv, bound, oriented_rel, exit_label,
+                         latch_label)
+    return None

@@ -1,0 +1,35 @@
+"""Benchmarks and the experiment harness.
+
+``programs`` holds the MiniC sources of the paper's Table I benchmark set
+(plus the Figure 1 dot product), ``workloads`` generates inputs and golden
+outputs, ``harness`` compiles/runs one benchmark under one configuration,
+and ``tables`` regenerates the paper's tables.
+"""
+
+from repro.bench.programs import BENCHMARKS, BenchmarkProgram, get_benchmark
+from repro.bench.harness import (
+    BenchResult,
+    COLUMN_CONFIGS,
+    run_benchmark,
+    machine_overrides,
+)
+from repro.bench.tables import (
+    TableRow,
+    format_table,
+    table1_rows,
+    table_rows,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchResult",
+    "BenchmarkProgram",
+    "COLUMN_CONFIGS",
+    "TableRow",
+    "format_table",
+    "get_benchmark",
+    "machine_overrides",
+    "run_benchmark",
+    "table1_rows",
+    "table_rows",
+]

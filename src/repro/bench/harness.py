@@ -1,0 +1,223 @@
+"""Compile-and-measure harness for the paper's experiments.
+
+One *column* of a paper table = one pipeline configuration:
+
+=====================  =====================================================
+``cc``                 native-compiler proxy (no scheduling)
+``vpo``                full optimizer, loops unrolled (the baseline column)
+``coalesce-loads``     loads coalesced — **forced**, as the paper measures
+                       the transformation itself (col. 4)
+``coalesce-all``       loads and stores coalesced — forced (col. 5)
+=====================  =====================================================
+
+The Motorola 68030 needs ``unroll_factor=4`` forced in every column: its
+256-byte instruction cache makes the unrolling heuristic refuse, and the
+paper's point there is precisely what happens when the transformation is
+applied anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.programs import get_benchmark
+from repro.bench import workloads
+from repro.pipeline import CompiledProgram, compile_minic
+from repro.sim import Simulator
+
+COLUMN_CONFIGS: Dict[str, Tuple[str, Dict[str, object]]] = {
+    "cc": ("cc", {}),
+    "vpo": ("vpo", {}),
+    "coalesce-loads": ("coalesce-loads", {"force_coalesce": True}),
+    "coalesce-all": ("coalesce-all", {"force_coalesce": True}),
+}
+
+COLUMNS = ("cc", "vpo", "coalesce-loads", "coalesce-all")
+
+
+def machine_overrides(machine: str) -> Dict[str, object]:
+    """Per-machine pipeline overrides used by every column."""
+    if machine == "m68030":
+        return {"unroll_factor": 4}
+    return {}
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one (benchmark, machine, column) measurement."""
+
+    benchmark: str
+    machine: str
+    column: str
+    cycles: int
+    base_cycles: int
+    dcache_miss_cycles: int
+    icache_miss_cycles: int
+    instr_count: int
+    memory_accesses: int
+    output_ok: bool
+    coalesced_loops: int
+    result: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<BenchResult {self.benchmark}/{self.machine}/{self.column}: "
+            f"{self.cycles} cycles, ok={self.output_ok}>"
+        )
+
+
+@lru_cache(maxsize=256)
+def _compile(
+    name: str, machine: str, column: str, extra: Tuple[Tuple[str, object], ...]
+) -> CompiledProgram:
+    program = get_benchmark(name)
+    preset, overrides = COLUMN_CONFIGS[column]
+    merged = dict(machine_overrides(machine))
+    merged.update(overrides)
+    merged.update(dict(extra))
+    return compile_minic(program.source, machine, preset, **merged)
+
+
+def compile_benchmark(
+    name: str, machine: str, column: str, **extra
+) -> CompiledProgram:
+    """Compile one benchmark for one table column (cached)."""
+    return _compile(name, machine, column, tuple(sorted(extra.items())))
+
+
+def run_benchmark(
+    name: str,
+    machine: str,
+    column: str,
+    width: int = 64,
+    height: int = 64,
+    check: bool = True,
+    **extra,
+) -> BenchResult:
+    """Compile, stage inputs, simulate, verify and measure one benchmark."""
+    compiled = compile_benchmark(name, machine, column, **extra)
+    sim = compiled.simulator()
+    result, ok = _stage_and_run(name, sim, width, height, check)
+    report = sim.report()
+    return BenchResult(
+        benchmark=name,
+        machine=machine,
+        column=column,
+        cycles=report.total_cycles,
+        base_cycles=report.base_cycles,
+        dcache_miss_cycles=report.dcache_miss_cycles,
+        icache_miss_cycles=report.icache_miss_cycles,
+        instr_count=report.instr_count,
+        memory_accesses=report.memory_accesses,
+        output_ok=ok,
+        coalesced_loops=compiled.coalesced_loops,
+        result=result,
+    )
+
+
+def _stage_and_run(
+    name: str, sim: Simulator, width: int, height: int, check: bool
+) -> Tuple[Optional[int], bool]:
+    pixels = width * height
+
+    if name == "convolution":
+        src = workloads.lcg_bytes(pixels)
+        a = sim.alloc_array("src", bytes(src))
+        d = sim.alloc_array("dst", size=pixels)
+        sim.call("convolve", a, d, width, height)
+        if not check:
+            return None, True
+        got = sim.read_words(d, pixels, 1, signed=False)
+        return None, got == workloads.ref_convolution(src, width, height)
+
+    if name in ("image_add", "image_xor"):
+        a_vals = workloads.lcg_bytes(pixels, seed=11)
+        b_vals = workloads.lcg_bytes(pixels, seed=22)
+        d = sim.alloc_array("dst", size=pixels)
+        a = sim.alloc_array("a", bytes(a_vals))
+        b = sim.alloc_array("b", bytes(b_vals))
+        sim.call(get_benchmark(name).entry, d, a, b, pixels)
+        if not check:
+            return None, True
+        got = sim.read_words(d, pixels, 1, signed=False)
+        reference = (
+            workloads.ref_image_add(a_vals, b_vals)
+            if name == "image_add"
+            else workloads.ref_image_xor(a_vals, b_vals)
+        )
+        return None, got == reference
+
+    if name == "image_add16":
+        a_vals = [v * 257 for v in workloads.lcg_bytes(pixels, seed=33)]
+        b_vals = [v * 257 for v in workloads.lcg_bytes(pixels, seed=44)]
+        d = sim.alloc_array("dst", size=2 * pixels)
+        a = sim.alloc_array("a", size=2 * pixels)
+        b = sim.alloc_array("b", size=2 * pixels)
+        sim.write_words(a, a_vals, 2)
+        sim.write_words(b, b_vals, 2)
+        sim.call("image_add16", d, a, b, pixels)
+        if not check:
+            return None, True
+        got = sim.read_words(d, pixels, 2, signed=False)
+        return None, got == workloads.ref_image_add16(a_vals, b_vals)
+
+    if name == "translate":
+        tx, ty = 8, 4
+        src = workloads.lcg_bytes(pixels, seed=55)
+        a = sim.alloc_array("src", bytes(src))
+        d = sim.alloc_array("dst", size=pixels)
+        sim.call("translate", a, d, width, height, tx, ty)
+        if not check:
+            return None, True
+        got = sim.read_words(d, pixels, 1, signed=False)
+        return None, got == workloads.ref_translate(
+            src, width, height, tx, ty
+        )
+
+    if name == "mirror":
+        src = workloads.lcg_bytes(pixels, seed=66)
+        a = sim.alloc_array("src", bytes(src))
+        d = sim.alloc_array("dst", size=pixels)
+        sim.call("mirror", a, d, width, height)
+        if not check:
+            return None, True
+        got = sim.read_words(d, pixels, 1, signed=False)
+        return None, got == workloads.ref_mirror(src, width, height)
+
+    if name == "eqntott":
+        nterms, term_width = max(height, 4), max(width, 8)
+        terms = workloads.eqntott_terms(nterms, term_width)
+        t = sim.alloc_array("terms", size=2 * len(terms))
+        sim.write_words(t, terms, 2)
+        w = sim.alloc_array("work", size=2 * term_width)
+        value = sim.call("eqntott", t, w, nterms, term_width)
+        value = _to_signed(value, sim.machine.word_bits)
+        if not check:
+            return value, True
+        return value, value == workloads.ref_eqntott(
+            terms, nterms, term_width
+        )
+
+    if name == "dotproduct":
+        count = pixels
+        a_vals = workloads.lcg_shorts(count, seed=77, span=2000)
+        b_vals = workloads.lcg_shorts(count, seed=88, span=2000)
+        a = sim.alloc_array("a", size=2 * count)
+        b = sim.alloc_array("b", size=2 * count)
+        sim.write_words(a, a_vals, 2)
+        sim.write_words(b, b_vals, 2)
+        value = sim.call("dotproduct", a, b, count)
+        value = _to_signed(value, sim.machine.word_bits)
+        if not check:
+            return value, True
+        return value, value == workloads.ref_dotproduct(a_vals, b_vals)
+
+    raise KeyError(f"no staging recipe for benchmark {name!r}")
+
+
+def _to_signed(value: int, bits: int) -> int:
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value

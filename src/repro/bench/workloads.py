@@ -1,0 +1,134 @@
+"""Input generation and golden-output references for the benchmarks.
+
+Everything is deterministic (seeded LCG, not ``random``) so cycle counts
+and outputs are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def lcg_bytes(count: int, seed: int = 12345) -> List[int]:
+    """Deterministic pseudo-random bytes."""
+    state = seed & 0x7FFFFFFF
+    output = []
+    for _ in range(count):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        output.append((state >> 16) & 0xFF)
+    return output
+
+
+def lcg_shorts(count: int, seed: int = 54321, span: int = 1 << 15) -> List[int]:
+    """Deterministic pseudo-random signed 16-bit values in [-span/2, span/2)."""
+    state = seed & 0x7FFFFFFF
+    output = []
+    for _ in range(count):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        output.append(((state >> 12) % span) - span // 2)
+    return output
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations (plain Python, exact integer semantics)
+# ---------------------------------------------------------------------------
+
+def ref_convolution(src: List[int], width: int, height: int) -> List[int]:
+    dst = [0] * (width * height)
+    for y in range(1, height - 1):
+        for x in range(1, width - 1):
+            gx = (
+                src[(y - 1) * width + x + 1] - src[(y - 1) * width + x - 1]
+                + src[y * width + x + 1] - src[y * width + x - 1]
+                + src[(y + 1) * width + x + 1]
+                - src[(y + 1) * width + x - 1]
+            )
+            gy = (
+                src[(y + 1) * width + x - 1] - src[(y - 1) * width + x - 1]
+                + src[(y + 1) * width + x] - src[(y - 1) * width + x]
+                + src[(y + 1) * width + x + 1]
+                - src[(y - 1) * width + x + 1]
+            )
+            value = abs(gx) + abs(gy)
+            dst[(y - 1) * width + x - 1] = min(value, 255) & 0xFF
+    return dst
+
+
+def ref_image_add(a: List[int], b: List[int]) -> List[int]:
+    return [min(x + y, 255) for x, y in zip(a, b)]
+
+
+def ref_image_add16(a: List[int], b: List[int]) -> List[int]:
+    return [min(x + y, 65535) for x, y in zip(a, b)]
+
+
+def ref_image_xor(a: List[int], b: List[int]) -> List[int]:
+    return [x ^ y for x, y in zip(a, b)]
+
+
+def ref_translate(
+    src: List[int], width: int, height: int, tx: int, ty: int
+) -> List[int]:
+    dst = [0] * (width * height)
+    for y in range(height - ty):
+        for x in range(width - tx):
+            dst[(y + ty) * width + x + tx] = src[y * width + x]
+    return dst
+
+
+def ref_mirror(src: List[int], width: int, height: int) -> List[int]:
+    dst = [0] * (width * height)
+    for y in range(height):
+        for x in range(width):
+            dst[y * width + width - 1 - x] = src[y * width + x]
+    return dst
+
+
+def ref_cmppt(a: List[int], b: List[int]) -> int:
+    for x, y in zip(a, b):
+        if x != y:
+            if x == 2:
+                return 1
+            if y == 2:
+                return -1
+            return -1 if x < y else 1
+    return 0
+
+
+def ref_eqntott(terms: List[int], nterms: int, width: int) -> int:
+    total = 0
+
+    def row(index: int) -> List[int]:
+        return terms[index * width:(index + 1) * width]
+
+    for i in range(nterms - 4):
+        left = row(i)
+        for offset in (1, 2, 3, 4):
+            total += ref_cmppt(left, row(i + offset))
+    return total
+
+
+def ref_dotproduct(a: List[int], b: List[int]) -> int:
+    return sum(x * y for x, y in zip(a, b))
+
+
+def eqntott_terms(nterms: int, width: int, seed: int = 777) -> List[int]:
+    """Product-term table: 0/1/2 values (2 = don't care) with long equal
+    prefixes, like eqntott's bit vectors — comparisons scan deep before
+    the early exit fires, so ``cmppt`` dominates the runtime as it did in
+    the original program."""
+    state = seed
+    terms: List[int] = []
+    base = []
+    for _ in range(width):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        base.append((state >> 16) % 3)
+    for t in range(nterms):
+        row = list(base)
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        # Rows differ only in the last ~10% of the vector.
+        tail = max(1, width // 10)
+        flip_at = width - 1 - ((state >> 16) % tail)
+        row[flip_at] = (row[flip_at] + 1 + t % 2) % 3
+        terms.extend(row)
+    return terms

@@ -1,0 +1,49 @@
+"""Memory access coalescing — the paper's primary contribution.
+
+Pipeline position: runs after unrolling (which exposes several narrow
+references per iteration at consecutive displacements) and before machine
+lowering.  Structure mirrors the paper's Figure 2-4 algorithms:
+
+* :mod:`repro.coalesce.partition` — classify memory references into
+  partitions by loop-invariant/induction base register and compute their
+  relative offsets (``ClassifyMemoryReferencesIntoPartitions`` +
+  ``CalculateRelativeOffsets``);
+* :mod:`repro.coalesce.hazards` — the safety analysis (``IsHazard``,
+  Figure 4), producing either a rejection or a set of partition pairs that
+  must be alias-checked at run time;
+* :mod:`repro.coalesce.widen` — ``InsertWideReferences``: replace narrow
+  load runs with one wide load + extracts, narrow store runs with inserts
+  + one wide store;
+* :mod:`repro.coalesce.runtime_checks` — the paper's run-time alias and
+  alignment analysis: preheader check chains that fall back to the
+  original ("safe") loop (Figure 5);
+* :mod:`repro.coalesce.profitability` — ``DoProfitabilityAnalysisAndModify``
+  (Figure 3): schedule the original and the coalesced copy, keep the copy
+  only when it is faster;
+* :mod:`repro.coalesce.coalescer` — the driving pass
+  (``CoalesceMemoryAccesses``).
+"""
+
+from repro.coalesce.partition import MemoryRef, Partition, classify_partitions
+from repro.coalesce.partition import find_runs, Run
+from repro.coalesce.hazards import HazardResult, check_hazards
+from repro.coalesce.widen import widen_run
+from repro.coalesce.runtime_checks import insert_runtime_checks
+from repro.coalesce.profitability import estimate_block_cycles, lower_block_copy
+from repro.coalesce.coalescer import CoalesceReport, coalesce_function
+
+__all__ = [
+    "CoalesceReport",
+    "HazardResult",
+    "MemoryRef",
+    "Partition",
+    "Run",
+    "check_hazards",
+    "classify_partitions",
+    "coalesce_function",
+    "estimate_block_cycles",
+    "find_runs",
+    "insert_runtime_checks",
+    "lower_block_copy",
+    "widen_run",
+]

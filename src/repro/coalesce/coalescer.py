@@ -1,0 +1,254 @@
+"""The driving pass: ``CoalesceMemoryAccesses`` (Figure 2).
+
+For every single-block loop (the unroller has already produced the
+multiple-references-per-iteration shape):
+
+1. partition the memory references and compute relative offsets;
+2. find candidate runs and screen each with the hazard analysis,
+   collecting the partition pairs that need run-time alias checks;
+3. build LCOPY — a copy of the loop with the wide references inserted;
+4. schedule both lowered bodies; keep LCOPY only if it is faster (or the
+   caller forces application, which the evaluation uses to measure the
+   unprofitable cases the paper reports for the 68030);
+5. splice LCOPY in behind the run-time alias/alignment check chain, the
+   original loop remaining as the safe fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.loops import Loop, find_loops
+from repro.analysis.tripcount import analyze_trip_count
+from repro.coalesce.hazards import check_hazards
+from repro.coalesce.partition import (
+    Partition,
+    Run,
+    classify_partitions,
+    find_runs,
+)
+from repro.coalesce.runtime_checks import CheckPlan, insert_runtime_checks
+from repro.coalesce.profitability import estimate_block_cycles
+from repro.coalesce.widen import apply_plans, widen_run
+from repro.ir.function import BasicBlock, Function
+from repro.opt.pass_manager import PassContext
+
+
+@dataclass
+class CoalesceReport:
+    """What happened to one loop."""
+
+    function: str
+    loop_header: str
+    runs_found: int = 0
+    runs_safe: int = 0
+    rejections: List[Tuple[str, str]] = field(default_factory=list)
+    alias_pairs: int = 0
+    cycles_original: int = 0
+    cycles_coalesced: int = 0
+    applied: bool = False
+    skipped_reason: str = ""
+    lcopy_label: str = ""
+
+    @property
+    def predicted_speedup(self) -> float:
+        if not self.cycles_coalesced:
+            return 1.0
+        return self.cycles_original / self.cycles_coalesced
+
+    def __repr__(self) -> str:
+        status = "applied" if self.applied else (
+            f"skipped ({self.skipped_reason})"
+        )
+        return (
+            f"<CoalesceReport {self.function}/{self.loop_header}: "
+            f"{self.runs_safe}/{self.runs_found} runs, "
+            f"{self.cycles_original}->{self.cycles_coalesced} cycles, "
+            f"{status}>"
+        )
+
+
+def coalescible_widths(machine) -> tuple:
+    """Wide access widths available for coalescing on ``machine``.
+
+    Wider is better, but smaller supported widths pick up leftovers —
+    e.g. on the Alpha, two trailing shorts still coalesce into one
+    longword even when no quadword tile exists (the [Alex93] wide-bus
+    lineage of the technique).
+    """
+    widths = set(machine.load_widths) & set(machine.store_widths)
+    return tuple(sorted((w for w in widths if w >= 2), reverse=True))
+
+
+def coalesce_function(
+    func: Function,
+    ctx: PassContext,
+    include_stores: bool = True,
+    force: bool = False,
+    divisibility_factor: Optional[int] = None,
+    unaligned_loads: bool = False,
+) -> List[CoalesceReport]:
+    """Run memory access coalescing on every eligible loop of ``func``.
+
+    ``include_stores=False`` restricts the transformation to loads (the
+    paper's Table II/III column 4).  ``force=True`` bypasses the
+    profitability comparison (used to reproduce the paper's 68030 numbers,
+    where the transformation was applied and measured to be a loss).
+    ``divisibility_factor`` adds the paper's ``n % k`` preheader check for
+    pipelines that version instead of emitting a remainder prologue.
+    ``unaligned_loads`` rewrites load runs with the machine's unaligned
+    wide accesses (Figure 3's UnAlignedWideType) — two ``ldq_u``-style
+    loads plus shifts instead of one aligned load, but no run-time
+    alignment check and therefore no fallback risk.
+    """
+    machine = ctx.machine
+    use_unaligned = unaligned_loads and machine.has_unaligned_wide
+    reports: List[CoalesceReport] = []
+
+    for loop in find_loops(func):
+        if len(loop.blocks) != 1 or loop.header not in loop.latches:
+            continue
+        report = CoalesceReport(func.name, loop.header)
+        block = func.block(loop.header)
+        partitions = classify_partitions(func, loop, block)
+        runs = find_runs(
+            partitions,
+            coalescible_widths(machine),
+            include_stores=include_stores,
+        )
+        report.runs_found = len(runs)
+        if not runs:
+            report.skipped_reason = "no coalescible runs"
+            reports.append(report)
+            continue
+
+        accepted: List[Run] = []
+        alias_keys: Set[Tuple[int, int]] = set()
+        for run in runs:
+            hazard = check_hazards(block, run, partitions)
+            if hazard.safe:
+                accepted.append(run)
+                alias_keys |= hazard.alias_pairs
+            else:
+                report.rejections.append((repr(run), hazard.reason))
+        report.runs_safe = len(accepted)
+        report.alias_pairs = len(alias_keys)
+        if not accepted:
+            report.skipped_reason = "all runs rejected by hazard analysis"
+            reports.append(report)
+            continue
+
+        trip = analyze_trip_count(func, loop)
+        if (alias_keys or divisibility_factor) and trip is None:
+            report.skipped_reason = (
+                "needs run-time checks but the trip count is opaque"
+            )
+            reports.append(report)
+            continue
+
+        # Build candidate LCOPYs and pick the best profitable subset of
+        # runs: all of them, loads only, or stores only.  (On the 88100,
+        # e.g., load coalescing wins while store coalescing loses; a
+        # whole-or-nothing decision would forfeit the load win.)
+        report.cycles_original = estimate_block_cycles(func, block, machine)
+
+        def widen(run: Run):
+            # The unaligned (ldq_u-pair) form exists only at the full
+            # word width — the Alpha has no sub-word unaligned loads.
+            if (
+                use_unaligned
+                and not run.is_store
+                and run.wide_width == machine.word_bytes
+            ):
+                from repro.coalesce.widen import widen_run_unaligned
+
+                return widen_run_unaligned(func, run)
+            return widen_run(func, run, machine)
+
+        def build_lcopy(runs_subset: List[Run]) -> BasicBlock:
+            label = func.new_label(f"{loop.header}.co")
+            copy = BasicBlock(label, [i.clone() for i in block.instrs])
+            copy.retarget(loop.header, label)
+            apply_plans(copy, [widen(r) for r in runs_subset])
+            return copy
+
+        subsets = [accepted]
+        if not force:
+            # The paper's whole-loop decision generalized: also consider
+            # loads-only and stores-only (on the 88100, loads win while
+            # stores lose; all-or-nothing would forfeit the load win).
+            loads_only = [r for r in accepted if not r.is_store]
+            stores_only = [r for r in accepted if r.is_store]
+            if loads_only and loads_only != accepted:
+                subsets.append(loads_only)
+            if stores_only and stores_only != accepted:
+                subsets.append(stores_only)
+
+        best = None
+        for subset in subsets:
+            lcopy = build_lcopy(subset)
+            cycles = estimate_block_cycles(func, lcopy, machine)
+            if best is None or cycles < best[2]:
+                best = (subset, lcopy, cycles)
+
+        # Greedy refinement: drop any run whose removal makes the
+        # schedule strictly faster (e.g. a leftover two-byte tile whose
+        # wide load + extracts merely break even against two narrow
+        # loads, while costing an extra alignment check).  Under
+        # ``force`` — the evaluation's "measure the transformation even
+        # if unprofitable" mode — only the sub-word leftover tiles (this
+        # implementation's extension beyond the paper) may be dropped;
+        # full-width runs are applied unconditionally.
+        def removable(run: Run) -> bool:
+            return not force or run.wide_width < machine.word_bytes
+
+        improved = True
+        while improved and len(best[0]) > 1:
+            improved = False
+            for run in list(best[0]):
+                if not removable(run):
+                    continue
+                reduced = [r for r in best[0] if r is not run]
+                lcopy = build_lcopy(reduced)
+                cycles = estimate_block_cycles(func, lcopy, machine)
+                # Ties also drop the run: equal speed with one fewer
+                # wide reference means one fewer preheader check.
+                if cycles <= best[2]:
+                    best = (reduced, lcopy, cycles)
+                    improved = True
+                    break
+
+        accepted, lcopy, report.cycles_coalesced = best
+        lcopy_label = lcopy.label
+        if report.cycles_coalesced >= report.cycles_original and not force:
+            report.skipped_reason = (
+                f"not profitable on {machine.name} "
+                f"({report.cycles_coalesced} >= "
+                f"{report.cycles_original} cycles)"
+            )
+            reports.append(report)
+            continue
+        report.runs_safe = len(accepted)
+
+        # Commit: splice LCOPY and the run-time checks in.
+        func.blocks.insert(func.block_index(loop.header) + 1, lcopy)
+        plan = CheckPlan(
+            alignments=[
+                (run.partition.base, run.start_disp, run.wide_width)
+                for run in accepted
+                if run.is_store
+                or not use_unaligned
+                or run.wide_width != machine.word_bytes
+            ],
+            alias_pairs=[
+                (partitions[a], partitions[b]) for a, b in sorted(alias_keys)
+            ],
+            trip=trip,
+            divisibility=divisibility_factor,
+        )
+        insert_runtime_checks(func, loop, lcopy_label, plan)
+        report.applied = True
+        report.lcopy_label = lcopy_label
+        reports.append(report)
+    return reports

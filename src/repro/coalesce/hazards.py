@@ -1,0 +1,157 @@
+"""Safety (hazard) analysis — the paper's Figure 4 (``IsHazard``).
+
+Coalescing moves memory operations: a run's narrow loads all happen at the
+*first* load's position (as one wide load), a run's narrow stores all
+happen at the *last* store's position (as one wide store).  Every memory
+operation crossed by that motion is examined:
+
+* a **same-partition** conflict (overlapping ``[disp, disp+width)`` on the
+  same base value) is a hard hazard — the run is rejected;
+* a **cross-partition** memory operation *might* alias, which "can
+  probably be detected only at run time" — the pair of partitions is
+  recorded and the run stays alive, contingent on a run-time overlap check
+  (``DoAliasDetection``);
+* a call, or a redefinition of the run's base register inside the crossed
+  region, rejects the run (the base-and-displacement reasoning breaks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.coalesce.partition import MemoryRef, Partition, Run
+from repro.ir.function import BasicBlock
+from repro.ir.rtl import Call, Instr, Load, Store
+
+
+@dataclass
+class HazardResult:
+    """Outcome of checking one run."""
+
+    safe: bool
+    reason: str = ""
+    # Pairs of partition base register indices needing run-time overlap
+    # checks (order-insensitive).
+    alias_pairs: Set[Tuple[int, int]] = field(default_factory=set)
+
+
+def _ranges_overlap(a: MemoryRef, b_disp: int, b_width: int) -> bool:
+    return not (
+        a.disp + a.width <= b_disp or b_disp + b_width <= a.disp
+    )
+
+
+def _pair(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a <= b else (b, a)
+
+
+def check_hazards(
+    block: BasicBlock,
+    run: Run,
+    partitions: Dict[int, Partition],
+) -> HazardResult:
+    """Apply Figure 4's rules to ``run`` within ``block``."""
+    base_index = run.partition.base.index
+    result = HazardResult(safe=True)
+    ref_by_index = {r.index: r for r in run.refs}
+
+    first = run.first_index
+    last = run.last_index
+
+    for position in range(first, last + 1):
+        instr = block.instrs[position]
+
+        if isinstance(instr, Call):
+            return HazardResult(False, "call inside the coalesced region")
+
+        # The base register must not change while references move across
+        # the region (Figure 4, IsModifiedBase).
+        if any(r.index == base_index for r in instr.defs()):
+            return HazardResult(
+                False, "base register modified inside the region"
+            )
+
+        if position in ref_by_index:
+            continue  # a member of the run itself
+        if not isinstance(instr, (Load, Store)):
+            continue
+
+        other_base = instr.base.index
+        other_partition = partitions.get(other_base)
+        same_partition = other_base == base_index
+
+        if not run.is_store:
+            # Loads move UP to `first`.  Crossing another load is always
+            # fine; crossing a store matters for the member loads that
+            # originally executed after it.
+            if isinstance(instr, Store):
+                conflict = any(
+                    ref.index > position
+                    and _ranges_overlap(ref, instr.disp, instr.width)
+                    for ref in run.refs
+                )
+                if same_partition:
+                    if conflict:
+                        return HazardResult(
+                            False,
+                            "store into the loaded word between the "
+                            "coalesced loads",
+                        )
+                else:
+                    if other_partition is None or (
+                        other_partition.kind == "other"
+                    ):
+                        return HazardResult(
+                            False, "store with unanalyzable base crosses "
+                                   "the loads"
+                        )
+                    result.alias_pairs.add(_pair(base_index, other_base))
+        else:
+            # Stores move DOWN to `last`.  Crossing a load matters for the
+            # member stores that originally executed before it; crossing
+            # another store to the same bytes would reorder writes.
+            if isinstance(instr, Load):
+                conflict = any(
+                    ref.index < position
+                    and _ranges_overlap(ref, instr.disp, instr.width)
+                    for ref in run.refs
+                )
+                if same_partition:
+                    if conflict:
+                        return HazardResult(
+                            False,
+                            "load of a delayed store's bytes between the "
+                            "coalesced stores",
+                        )
+                else:
+                    if other_partition is None or (
+                        other_partition.kind == "other"
+                    ):
+                        return HazardResult(
+                            False, "load with unanalyzable base crosses "
+                                   "the stores"
+                        )
+                    result.alias_pairs.add(_pair(base_index, other_base))
+            else:  # a store outside the run
+                conflict = any(
+                    _ranges_overlap(ref, instr.disp, instr.width)
+                    for ref in run.refs
+                )
+                if same_partition:
+                    if conflict:
+                        return HazardResult(
+                            False,
+                            "overlapping store between the coalesced "
+                            "stores",
+                        )
+                else:
+                    if other_partition is None or (
+                        other_partition.kind == "other"
+                    ):
+                        return HazardResult(
+                            False, "store with unanalyzable base inside "
+                                   "the region"
+                        )
+                    result.alias_pairs.add(_pair(base_index, other_base))
+    return result

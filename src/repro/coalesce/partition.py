@@ -1,0 +1,242 @@
+"""Partitioning of a loop's memory references and run discovery.
+
+This implements lines 8-15 of the paper's Figure 2: references are
+classified into disjoint partitions keyed by base register — "all
+references to an array A passed as a parameter will have a loop invariant
+register (most probably the register containing the start address of A)
+as their partition identifier".  After the unroller's IV compaction, every
+reference in a partition is ``M[p + d]`` with a constant ``d``, so the
+relative-offset calculation is simply reading (and sorting by) the
+displacements.
+
+A *run* is a maximal coalescing candidate inside one partition: ``c``
+same-width, same-kind references at consecutive displacements that exactly
+tile one wide word (``c × w == wide``) starting at a wide-aligned
+displacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.induction import find_basic_ivs
+from repro.analysis.loops import Loop
+from repro.ir.function import BasicBlock, Function
+from repro.ir.rtl import Instr, Load, Reg, Store
+
+
+@dataclass
+class MemoryRef:
+    """One narrow memory reference inside the candidate block."""
+
+    index: int          # position in the block
+    instr: Instr        # the Load or Store
+    disp: int
+    width: int
+
+    @property
+    def is_store(self) -> bool:
+        return isinstance(self.instr, Store)
+
+
+@dataclass
+class Partition:
+    """All references sharing one base register.
+
+    ``kind``:
+      * ``'iv'``   — the base is a basic induction variable advancing by
+        ``step`` bytes per iteration (the coalescible case);
+      * ``'fixed'`` — the base is loop-invariant (e.g. a spilled scalar);
+      * ``'other'`` — the base is redefined unpredictably; references in
+        such a partition disable coalescing of anything they interleave
+        with.
+    """
+
+    base: Reg
+    kind: str
+    step: int = 0
+    refs: List[MemoryRef] = field(default_factory=list)
+
+    @property
+    def loads(self) -> List[MemoryRef]:
+        return [r for r in self.refs if not r.is_store]
+
+    @property
+    def stores(self) -> List[MemoryRef]:
+        return [r for r in self.refs if r.is_store]
+
+    @property
+    def min_disp(self) -> int:
+        return min(r.disp for r in self.refs)
+
+    @property
+    def max_end(self) -> int:
+        return max(r.disp + r.width for r in self.refs)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Partition base=r{self.base.index} kind={self.kind} "
+            f"step={self.step:+d} refs={len(self.refs)}>"
+        )
+
+
+@dataclass
+class Run:
+    """A coalescing candidate: narrow refs that tile one wide word.
+
+    ``refs`` is in block (execution) order and may contain several
+    references per displacement.
+    """
+
+    partition: Partition
+    refs: List[MemoryRef]
+    is_store: bool
+    width: int             # element width
+    wide_width: int
+
+    @property
+    def start_disp(self) -> int:
+        return min(r.disp for r in self.refs)
+
+    @property
+    def first_index(self) -> int:
+        return min(r.index for r in self.refs)
+
+    @property
+    def last_index(self) -> int:
+        return max(r.index for r in self.refs)
+
+    def __repr__(self) -> str:
+        kind = "store" if self.is_store else "load"
+        return (
+            f"<Run {kind} base=r{self.partition.base.index} "
+            f"disp={self.start_disp}+{self.width}*{len(self.refs)}>"
+        )
+
+
+def classify_partitions(
+    func: Function, loop: Loop, block: BasicBlock
+) -> Dict[int, Partition]:
+    """Partition ``block``'s memory references by base register."""
+    ivs = find_basic_ivs(func, loop)
+
+    defined_in_loop: Dict[int, int] = {}
+    for label in loop.blocks:
+        for instr in func.block(label).instrs:
+            for reg in instr.defs():
+                defined_in_loop[reg.index] = (
+                    defined_in_loop.get(reg.index, 0) + 1
+                )
+
+    partitions: Dict[int, Partition] = {}
+    for index, instr in enumerate(block.instrs):
+        if not isinstance(instr, (Load, Store)):
+            continue
+        base = instr.base
+        partition = partitions.get(base.index)
+        if partition is None:
+            if base.index in ivs:
+                partition = Partition(base, "iv", ivs[base.index].step)
+            elif defined_in_loop.get(base.index, 0) == 0:
+                partition = Partition(base, "fixed", 0)
+            else:
+                partition = Partition(base, "other", 0)
+            partitions[base.index] = partition
+        partition.refs.append(
+            MemoryRef(index, instr, instr.disp, instr.width)
+        )
+    return partitions
+
+
+def find_runs(
+    partitions: Dict[int, Partition],
+    wide_width,
+    include_stores: bool = True,
+) -> List[Run]:
+    """Find coalescing candidates (runs) inside each IV partition.
+
+    Only ``'iv'`` partitions qualify — a fixed partition re-reads the same
+    location every iteration (register allocation's job, not ours) and an
+    ``'other'`` partition has no analyzable address stream.
+
+    ``wide_width`` may be a single access width or a sequence of supported
+    widths; wider tiles are preferred, narrower ones pick up the leftovers
+    (e.g. on the Alpha, eight bytes coalesce into a quadword but a
+    trailing pair of shorts can still coalesce into a longword).
+    """
+    if isinstance(wide_width, int):
+        wide_widths = [wide_width]
+    else:
+        wide_widths = sorted(wide_width, reverse=True)
+    runs: List[Run] = []
+    for partition in partitions.values():
+        if partition.kind != "iv":
+            continue
+        for is_store in (False, True):
+            if is_store and not include_stores:
+                continue
+            refs = partition.stores if is_store else partition.loads
+            claimed: set = set()
+            for wide in wide_widths:
+                # The preheader alignment check only holds across
+                # iterations when the pointer advances by whole wide
+                # words; a step-1 loop (e.g. a remainder epilogue) would
+                # drift off alignment after the check.
+                if partition.step % wide != 0:
+                    continue
+                available = [r for r in refs if r.disp not in claimed]
+                found = _runs_in_refs(partition, available, is_store, wide)
+                for run in found:
+                    claimed.update(ref.disp for ref in run.refs)
+                runs.extend(found)
+    return runs
+
+
+def _runs_in_refs(
+    partition: Partition,
+    refs: List[MemoryRef],
+    is_store: bool,
+    wide_width: int,
+) -> List[Run]:
+    runs: List[Run] = []
+    by_width: Dict[int, List[MemoryRef]] = {}
+    for ref in refs:
+        if ref.width < wide_width and not getattr(
+            ref.instr, "unaligned", False
+        ):
+            by_width.setdefault(ref.width, []).append(ref)
+    for width, group in by_width.items():
+        count = wide_width // width
+        if count < 2:
+            continue
+        # Several references may hit the same displacement (e.g. the
+        # convolution reads src[x+1] for this iteration and src[x-1] two
+        # copies later; a cross-partition store between them blocks CSE).
+        # All of them join the run: each load becomes an extract from the
+        # same wide register; duplicate stores keep their order in the
+        # insert chain, so later fields win exactly as the narrow stores
+        # did.
+        by_disp: Dict[int, List[MemoryRef]] = {}
+        for ref in group:
+            by_disp.setdefault(ref.disp, []).append(ref)
+        used = set()
+        # Any displacement may start a tile; whether the *address* is
+        # wide-aligned there is the run-time alignment check's business.
+        for start in sorted(by_disp):
+            if start in used:
+                continue
+            tile = [
+                by_disp.get(start + k * width) for k in range(count)
+            ]
+            if any(t is None for t in tile):
+                continue
+            refs_in_tile: List[MemoryRef] = []
+            for bucket in tile:
+                used.add(bucket[0].disp)
+                refs_in_tile.extend(bucket)
+            refs_in_tile.sort(key=lambda r: r.index)
+            runs.append(
+                Run(partition, refs_in_tile, is_store, width, wide_width)
+            )
+    return runs

@@ -1,0 +1,215 @@
+"""``InsertWideReferences``: the actual widening rewrite.
+
+For a load run (Figure 1c, lines 12-16)::
+
+    r1 = load.2s [p + 0]          q  = load.8u [p + 0]     # at first load
+    r2 = load.2s [p + 2]    =>    r1 = ext.2s q, pos=0
+    ...                           r2 = ext.2s q, pos=2
+                                  ...
+
+For a store run the duals apply: each narrow store becomes a field insert
+into an accumulator register, and the *last* one also issues the single
+wide store::
+
+    store.2 [p + 0], r1           a1 = ins.2 0,  r1, pos=0
+    store.2 [p + 2], r2     =>    a2 = ins.2 a1, r2, pos=2
+    ...                           ...
+    store.2 [p + 6], r4           a4 = ins.2 a3, r4, pos=6
+                                  store.8 [p + 0], a4
+
+The rewrite is planned as an index -> replacement-instruction-list map so
+several runs can be applied to one block in a single rebuild, and so the
+coalescer can apply the same plan to a *copy* of the loop (the paper's
+LCOPY) while leaving the original safe loop untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.coalesce.partition import Run
+from repro.ir.function import BasicBlock, Function
+from repro.ir.rtl import (
+    BinOp,
+    Const,
+    Extract,
+    Insert,
+    Instr,
+    Load,
+    Operand,
+    Reg,
+    Store,
+)
+
+
+def _field_position(run: Run, ref_disp: int, machine) -> int:
+    """Byte position of a field inside the widened register.
+
+    For a full-word wide access this is simply the offset within the
+    tile.  A *sub-word* wide access (e.g. coalescing two shorts into a
+    32-bit load on a 64-bit machine, or a leftover byte pair into a
+    16-bit load) leaves its value in the register's **low** bytes; on a
+    big-endian machine the extract/insert byte numbering counts from the
+    most significant end of the word, so the position must be biased by
+    ``word_bytes - wide_width``.
+    """
+    offset = (ref_disp - run.start_disp) % run.wide_width
+    if machine.endian == "big" and run.wide_width < machine.word_bytes:
+        offset += machine.word_bytes - run.wide_width
+    return offset
+
+
+def widen_run(func: Function, run: Run, machine) -> Dict[int, List[Instr]]:
+    """Plan the replacement instructions for one run.
+
+    Returns a map from block instruction index to the list of instructions
+    replacing it.
+    """
+    wide = run.wide_width
+    start = run.start_disp
+    if not run.is_store:
+        wide_reg = func.new_reg("wq")
+        plan: Dict[int, List[Instr]] = {}
+        ordered = sorted(run.refs, key=lambda r: r.index)
+        for position, ref in enumerate(ordered):
+            load = ref.instr
+            assert isinstance(load, Load)
+            extract = Extract(
+                load.dst,
+                wide_reg,
+                Const(_field_position(run, ref.disp, machine)),
+                ref.width,
+                load.signed,
+            )
+            extract.notes["coalesced"] = True
+            plan[ref.index] = [extract]
+        first_ref = ordered[0]
+        wide_load = Load(
+            wide_reg, run.partition.base, start, wide, signed=False
+        )
+        wide_load.notes["coalesced"] = True
+        plan[first_ref.index] = [wide_load] + plan[first_ref.index]
+        return plan
+
+    # Store run: inserts in execution order, wide store at the last one.
+    plan = {}
+    acc: Operand = Const(0)
+    ordered = sorted(run.refs, key=lambda r: r.index)
+    for position, ref in enumerate(ordered):
+        store = ref.instr
+        assert isinstance(store, Store)
+        new_acc = func.new_reg("wa")
+        insert = Insert(
+            new_acc,
+            acc,
+            store.src,
+            Const(_field_position(run, ref.disp, machine)),
+            ref.width,
+        )
+        insert.notes["coalesced"] = True
+        plan[ref.index] = [insert]
+        acc = new_acc
+    last_ref = ordered[-1]
+    wide_store = Store(run.partition.base, start, acc, wide)
+    wide_store.notes["coalesced"] = True
+    plan[last_ref.index].append(wide_store)
+    return plan
+
+
+def widen_run_unaligned(func: Function, run: Run) -> Dict[int, List[Instr]]:
+    """Plan an *unaligned* wide load for one run (loads only).
+
+    This is the paper's ``UnAlignedWideType`` (Figure 3, line 6): on a
+    machine with ``ldq_u``-style accesses, the wide word at an arbitrary
+    address is assembled from the two containing aligned words::
+
+        a  = p + s
+        q1 = uload.8 [a]          # aligned word containing a
+        q2 = uload.8 [a + 7]      # aligned word containing a's last byte
+        sh = (a & 7) * 8
+        w  = (q1 >> sh) | ((q2 << 1) << (63 - sh))
+        ... extracts from w at constant positions ...
+
+    The ``(q2 << 1) << (63 - sh)`` form contributes zero when ``a`` is
+    already aligned (where ``q2 == q1``), exactly like the Alpha's
+    ``extqh`` producing zero for a shift of 64.  No run-time alignment
+    check is needed — the trade is two loads plus five ALU operations
+    instead of one load.
+    """
+    assert not run.is_store, "unaligned widening applies to load runs"
+    wide = run.wide_width
+    bits = 8 * wide
+    base = run.partition.base
+    start = run.start_disp
+
+    setup: List[Instr] = []
+    if start:
+        addr = func.new_reg("ua")
+        setup.append(BinOp("add", addr, base, Const(start)))
+    else:
+        addr = base
+    q1 = func.new_reg("uq")
+    q2 = func.new_reg("uq")
+    low_bits = func.new_reg("t")
+    shift = func.new_reg("sh")
+    low = func.new_reg("t")
+    high_seed = func.new_reg("t")
+    inverse = func.new_reg("t")
+    high = func.new_reg("t")
+    wide_reg = func.new_reg("wq")
+
+    load1 = Load(q1, addr, 0, wide, signed=False, unaligned=True)
+    load2 = Load(q2, addr, wide - 1, wide, signed=False, unaligned=True)
+    load1.notes["coalesced"] = True
+    load2.notes["coalesced"] = True
+    setup.extend(
+        [
+            load1,
+            load2,
+            BinOp("and", low_bits, addr, Const(wide - 1)),
+            BinOp("shl", shift, low_bits, Const(3)),
+            BinOp("shrl", low, q1, shift),
+            BinOp("shl", high_seed, q2, Const(1)),
+            BinOp("sub", inverse, Const(bits - 1), shift),
+            BinOp("shl", high, high_seed, inverse),
+            BinOp("or", wide_reg, low, high),
+        ]
+    )
+
+    plan: Dict[int, List[Instr]] = {}
+    ordered = sorted(run.refs, key=lambda r: r.index)
+    for ref in ordered:
+        load = ref.instr
+        assert isinstance(load, Load)
+        extract = Extract(
+            load.dst,
+            wide_reg,
+            Const((ref.disp - start) % wide),
+            ref.width,
+            load.signed,
+        )
+        extract.notes["coalesced"] = True
+        plan[ref.index] = [extract]
+    plan[ordered[0].index] = setup + plan[ordered[0].index]
+    return plan
+
+
+def apply_plans(
+    block: BasicBlock, plans: List[Dict[int, List[Instr]]]
+) -> None:
+    """Rebuild ``block`` applying several (index-disjoint) widening plans."""
+    merged: Dict[int, List[Instr]] = {}
+    for plan in plans:
+        for index, replacement in plan.items():
+            if index in merged:
+                raise AssertionError(
+                    f"overlapping widening plans at index {index}"
+                )
+            merged[index] = replacement
+    rebuilt: List[Instr] = []
+    for index, instr in enumerate(block.instrs):
+        if index in merged:
+            rebuilt.extend(merged[index])
+        else:
+            rebuilt.append(instr)
+    block.instrs = rebuilt

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the compiler, the analyses, or the simulator derives
+from :class:`ReproError` so callers can catch the whole family at once.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IRError(ReproError):
+    """Malformed IR: verifier failures, bad operands, unknown opcodes."""
+
+
+class ParseError(ReproError):
+    """Syntax error in MiniC source or in the RTL text format.
+
+    Attributes:
+        line: 1-based line number of the offending token, if known.
+        column: 1-based column of the offending token, if known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class SemanticError(ReproError):
+    """Type errors and other semantic violations in MiniC source."""
+
+
+class LoweringError(ReproError):
+    """A machine lowering could not legalize an instruction."""
+
+
+class SimulationError(ReproError):
+    """Runtime faults in the simulator (bad address, alignment trap, ...)."""
+
+
+class AlignmentTrap(SimulationError):
+    """An aligned memory access was attempted at an unaligned address.
+
+    Real hardware (e.g. the DEC Alpha) traps on such accesses; the simulator
+    mirrors that so safety bugs in the coalescer surface as hard failures
+    instead of silently wrong data.
+    """
+
+    def __init__(self, address: int, width: int):
+        super().__init__(
+            f"unaligned {width}-byte access at address {address:#x}"
+        )
+        self.address = address
+        self.width = width
+
+
+class PassError(ReproError):
+    """An optimization pass was applied in an unsupported situation."""

@@ -1,0 +1,414 @@
+"""Abstract syntax tree and type objects for MiniC.
+
+The semantic analyzer decorates expression nodes with a ``ctype`` attribute
+(and lvalue-ness); the code generator consumes those annotations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+class CType:
+    """Base class for MiniC types."""
+
+    def size(self, word_bytes: int) -> int:
+        raise NotImplementedError
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+
+class VoidType(CType):
+    def size(self, word_bytes: int) -> int:
+        return 0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+class IntType(CType):
+    """An integer type.
+
+    ``rank``: 'char' (1 byte), 'short' (2), 'int' (4), 'long' (the machine
+    word).  ``signed`` is the usual flag.
+    """
+
+    _SIZES = {"char": 1, "short": 2, "int": 4}
+
+    def __init__(self, rank: str, signed: bool = True):
+        if rank not in ("char", "short", "int", "long"):
+            raise ValueError(f"bad integer rank {rank!r}")
+        self.rank = rank
+        self.signed = signed
+
+    def size(self, word_bytes: int) -> int:
+        if self.rank == "long":
+            return word_bytes
+        return self._SIZES[self.rank]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IntType)
+            and other.rank == self.rank
+            and other.signed == self.signed
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.rank, self.signed))
+
+    def __repr__(self) -> str:
+        return self.rank if self.signed else f"unsigned {self.rank}"
+
+
+class PointerType(CType):
+    def __init__(self, pointee: CType):
+        self.pointee = pointee
+
+    def size(self, word_bytes: int) -> int:
+        return word_bytes
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+    def __repr__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(CType):
+    """A fixed-size one-dimensional array."""
+
+    def __init__(self, element: CType, count: int):
+        self.element = element
+        self.count = count
+
+    def size(self, word_bytes: int) -> int:
+        return self.element.size(word_bytes) * self.count
+
+    def decay(self) -> PointerType:
+        return PointerType(self.element)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.count == self.count
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.count))
+
+    def __repr__(self) -> str:
+        return f"{self.element}[{self.count}]"
+
+
+# ---------------------------------------------------------------------------
+# AST nodes
+# ---------------------------------------------------------------------------
+
+class Node:
+    """Base AST node; carries a source line for diagnostics."""
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+
+class Expr(Node):
+    """Base expression node.
+
+    Decorated by sema with ``ctype`` (a :class:`CType`) and ``is_lvalue``.
+    """
+
+    def __init__(self, line: int = 0):
+        super().__init__(line)
+        self.ctype: Optional[CType] = None
+        self.is_lvalue = False
+
+
+class IntLit(Expr):
+    def __init__(self, value: int, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class Ident(Expr):
+    def __init__(self, name: str, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.symbol = None  # filled by sema
+
+
+class Binary(Expr):
+    """Arithmetic/bitwise/relational/logical binary operators."""
+
+    def __init__(self, op: str, left: Expr, right: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Unary(Expr):
+    """``-``, ``~``, ``!``, ``*`` (deref), ``&`` (address-of)."""
+
+    def __init__(self, op: str, operand: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Assign(Expr):
+    """``target op= value``; ``op`` is '' for plain assignment."""
+
+    def __init__(self, op: str, target: Expr, value: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class IncDec(Expr):
+    """``++``/``--``, prefix or postfix."""
+
+    def __init__(self, op: str, operand: Expr, is_prefix: bool, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+        self.is_prefix = is_prefix
+
+
+class CallExpr(Expr):
+    def __init__(self, name: str, args: List[Expr], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+class Index(Expr):
+    """``base[index]``."""
+
+    def __init__(self, base: Expr, index: Expr, line: int = 0):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Cast(Expr):
+    def __init__(self, target_type: CType, operand: Expr, line: int = 0):
+        super().__init__(line)
+        self.target_type = target_type
+        self.operand = operand
+
+
+class Conditional(Expr):
+    """``cond ? then : other``."""
+
+    def __init__(self, cond: Expr, then: Expr, other: Expr, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+
+class SizeOf(Expr):
+    def __init__(self, target_type: CType, line: int = 0):
+        super().__init__(line)
+        self.target_type = target_type
+
+
+# -- statements ---------------------------------------------------------------
+
+class Stmt(Node):
+    pass
+
+
+class Block(Stmt):
+    def __init__(self, stmts: List[Stmt], line: int = 0):
+        super().__init__(line)
+        self.stmts = stmts
+
+
+class ExprStmt(Stmt):
+    def __init__(self, expr: Expr, line: int = 0):
+        super().__init__(line)
+        self.expr = expr
+
+
+class If(Stmt):
+    def __init__(
+        self, cond: Expr, then: Stmt, other: Optional[Stmt], line: int = 0
+    ):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+
+class While(Stmt):
+    def __init__(self, cond: Expr, body: Stmt, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    def __init__(self, body: Stmt, cond: Expr, line: int = 0):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    def __init__(
+        self,
+        init: Optional[Stmt],
+        cond: Optional[Expr],
+        step: Optional[Expr],
+        body: Stmt,
+        line: int = 0,
+    ):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    def __init__(self, value: Optional[Expr], line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Stmt):
+    pass
+
+
+class Continue(Stmt):
+    pass
+
+
+class DeclGroup(Stmt):
+    """Several declarations from one statement (``int c, i;``).
+
+    Unlike :class:`Block`, a declaration group does not open a scope.
+    """
+
+    def __init__(self, decls: List["VarDecl"], line: int = 0):
+        super().__init__(line)
+        self.decls = decls
+
+
+class VarDecl(Stmt):
+    """Variable declaration (local or global)."""
+
+    def __init__(
+        self,
+        ctype: CType,
+        name: str,
+        init: Optional[Expr],
+        line: int = 0,
+    ):
+        super().__init__(line)
+        self.ctype = ctype
+        self.name = name
+        self.init = init
+        self.symbol = None  # filled by sema
+
+
+# -- top level ------------------------------------------------------------------
+
+class Param:
+    def __init__(self, ctype: CType, name: str, line: int = 0):
+        self.ctype = ctype
+        self.name = name
+        self.line = line
+        self.symbol = None
+
+
+class FuncDef(Node):
+    def __init__(
+        self,
+        ret_type: CType,
+        name: str,
+        params: List[Param],
+        body: Block,
+        line: int = 0,
+    ):
+        super().__init__(line)
+        self.ret_type = ret_type
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+class Program(Node):
+    def __init__(self, decls: List[Node]):
+        super().__init__(0)
+        self.decls = decls  # FuncDef | VarDecl
+
+    def functions(self) -> List[FuncDef]:
+        return [d for d in self.decls if isinstance(d, FuncDef)]
+
+    def globals(self) -> List[VarDecl]:
+        return [d for d in self.decls if isinstance(d, VarDecl)]
+
+
+# ---------------------------------------------------------------------------
+# Symbols
+# ---------------------------------------------------------------------------
+
+class Symbol:
+    """A declared name.
+
+    ``storage`` is decided by sema: 'reg' (scalar local/param held in a
+    virtual register), 'frame' (local array or address-taken local) or
+    'global'.
+    """
+
+    def __init__(self, name: str, ctype: CType, storage: str):
+        self.name = name
+        self.ctype = ctype
+        self.storage = storage
+        self.address_taken = False
+        # Code generation state:
+        self.reg = None        # for storage == 'reg'
+        self.frame_slot = None  # for storage == 'frame'
+
+    def __repr__(self) -> str:
+        return f"<Symbol {self.name}: {self.ctype} [{self.storage}]>"
+
+
+class FuncSymbol:
+    def __init__(
+        self, name: str, ret_type: CType, param_types: List[CType]
+    ):
+        self.name = name
+        self.ret_type = ret_type
+        self.param_types = param_types

@@ -1,0 +1,607 @@
+"""RTL code generation from the decorated MiniC AST.
+
+Conventions:
+
+* every value lives in a machine-word register, held as the sign-appropriate
+  extension of its C type (narrow loads extend; narrow stores truncate);
+* scalar locals and parameters are virtual registers; arrays and
+  address-taken locals are frame slots; module variables are globals;
+* ``for``/``while`` loops are *rotated* (zero-trip guard + bottom test), so
+  simple loop bodies come out as a single basic block ending in the back
+  branch — the canonical shape of Figure 1b that the strength reducer,
+  unroller and coalescer all operate on;
+* subscripts with constant indices fold into load/store displacements,
+  which is what the coalescer's offset analysis keys on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import SemanticError
+from repro.frontend import cast as ast
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function, GlobalVar, Module
+from repro.ir.rtl import Const, Operand, Reg
+
+_REL_SIGNED = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+               ">": "gt", ">=": "ge"}
+_REL_UNSIGNED = {"==": "eq", "!=": "ne", "<": "ltu", "<=": "leu",
+                 ">": "gtu", ">=": "geu"}
+_COMPARISONS = frozenset(_REL_SIGNED)
+
+
+def _log2_exact(value: int) -> Optional[int]:
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+class _LoopContext:
+    def __init__(self, continue_block: BasicBlock, break_block: BasicBlock):
+        self.continue_block = continue_block
+        self.break_block = break_block
+
+
+class CodeGenerator:
+    def __init__(self, word_bytes: int, name: str):
+        self.word_bytes = word_bytes
+        self.module = Module(name)
+        self.func: Optional[Function] = None
+        self.builder: Optional[IRBuilder] = None
+        self.loops: List[_LoopContext] = []
+        self.current_ret_void = True
+
+    # -- helpers --------------------------------------------------------------
+    def _size_of(self, ctype: ast.CType) -> int:
+        return ctype.size(self.word_bytes)
+
+    def _access(self, ctype: ast.CType) -> Tuple[int, bool]:
+        """(width, signed) for a memory access of ``ctype``."""
+        if isinstance(ctype, ast.IntType):
+            return self._size_of(ctype), ctype.signed
+        return self.word_bytes, False  # pointers
+
+    def _as_reg(self, value: Operand) -> Reg:
+        if isinstance(value, Reg):
+            return value
+        return self.builder.mov(value)
+
+    def _scale(self, value: Operand, element_size: int) -> Operand:
+        """Multiply an index by an element size (pointer arithmetic)."""
+        if element_size == 1:
+            return value
+        if isinstance(value, Const):
+            return Const(value.value * element_size)
+        shift = _log2_exact(element_size)
+        if shift is not None:
+            return self.builder.binop("shl", value, Const(shift))
+        return self.builder.binop("mul", value, Const(element_size))
+
+    def _ensure_open(self) -> None:
+        """After a terminator, park subsequent code in a fresh dead block."""
+        if self.builder.terminated:
+            dead = self.builder.new_block("dead")
+            self.builder.position_at(dead)
+
+    # -- program ----------------------------------------------------------------
+    def generate(self, program: ast.Program) -> Module:
+        for decl in program.globals():
+            self.module.add_global(
+                GlobalVar(
+                    decl.name,
+                    self._size_of(decl.ctype),
+                    align=self.word_bytes,
+                )
+            )
+        for func in program.functions():
+            self._gen_function(func)
+        return self.module
+
+    def _gen_function(self, func_def: ast.FuncDef) -> None:
+        func = Function(func_def.name)
+        params = [func.new_reg(p.name) for p in func_def.params]
+        func.params = params
+        func.reserve_reg_index(len(params) - 1 if params else -1)
+        self.func = func
+        self.builder = IRBuilder(func)
+        self.current_ret_void = func_def.ret_type.is_void
+
+        entry = func.add_block("entry")
+        self.builder.position_at(entry)
+
+        for param, reg in zip(func_def.params, params):
+            symbol = param.symbol
+            if symbol.storage == "frame":
+                # Address-taken parameter: spill the incoming value.
+                slot = func.add_frame_slot(
+                    symbol.name,
+                    self._size_of(symbol.ctype),
+                    self.word_bytes,
+                )
+                symbol.frame_slot = slot
+                base = self.builder.frameaddr(slot)
+                width, _ = self._access(symbol.ctype)
+                self.builder.store(base, 0, reg, width)
+            else:
+                symbol.reg = reg
+
+        self._gen_stmt(func_def.body)
+        if not self.builder.terminated:
+            if self.current_ret_void:
+                self.builder.ret(None)
+            else:
+                self.builder.ret(Const(0))
+        self.module.add_function(func)
+        self.func = None
+        self.builder = None
+
+    # -- statements -------------------------------------------------------------------
+    def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        self._ensure_open()
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                self._gen_stmt(inner)
+        elif isinstance(stmt, ast.VarDecl):
+            self._gen_local_decl(stmt)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._gen_local_decl(decl)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.builder.ret(None)
+            else:
+                self.builder.ret(self._gen_expr(stmt.value))
+        elif isinstance(stmt, ast.Break):
+            self.builder.jump(self.loops[-1].break_block)
+        elif isinstance(stmt, ast.Continue):
+            self.builder.jump(self.loops[-1].continue_block)
+        else:
+            raise SemanticError(f"cannot generate {type(stmt).__name__}")
+
+    def _gen_local_decl(self, decl: ast.VarDecl) -> None:
+        symbol = decl.symbol
+        if symbol.storage == "frame":
+            slot = self.func.add_frame_slot(
+                symbol.name, self._size_of(symbol.ctype), self.word_bytes
+            )
+            symbol.frame_slot = slot
+            if decl.init is not None:
+                value = self._gen_expr(decl.init)
+                base = self.builder.frameaddr(slot)
+                width, _ = self._access(symbol.ctype)
+                self.builder.store(base, 0, value, width)
+        else:
+            symbol.reg = self.func.new_reg(symbol.name)
+            if decl.init is not None:
+                self.builder.mov_to(symbol.reg, self._gen_expr(decl.init))
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        then_block = self.builder.new_block("then")
+        join_block = self.builder.new_block("join")
+        else_block = join_block
+        if stmt.other is not None:
+            else_block = self.builder.new_block("else")
+        self._gen_condition(stmt.cond, then_block, else_block)
+        self.builder.position_at(then_block)
+        self._gen_stmt(stmt.then)
+        if not self.builder.terminated:
+            self.builder.jump(join_block)
+        if stmt.other is not None:
+            self.builder.position_at(else_block)
+            self._gen_stmt(stmt.other)
+            if not self.builder.terminated:
+                self.builder.jump(join_block)
+        self.builder.position_at(join_block)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        body_block = self.builder.new_block("loop")
+        latch_block = self.builder.new_block("latch")
+        exit_block = self.builder.new_block("exit")
+        # Rotated loop: zero-trip guard, body, bottom test.
+        self._gen_condition(stmt.cond, body_block, exit_block)
+        self.builder.position_at(body_block)
+        self.loops.append(_LoopContext(latch_block, exit_block))
+        self._gen_stmt(stmt.body)
+        self.loops.pop()
+        if not self.builder.terminated:
+            self.builder.jump(latch_block)
+        self.builder.position_at(latch_block)
+        self._gen_condition(stmt.cond, body_block, exit_block)
+        self.builder.position_at(exit_block)
+
+    def _gen_do_while(self, stmt: ast.DoWhile) -> None:
+        body_block = self.builder.new_block("loop")
+        latch_block = self.builder.new_block("latch")
+        exit_block = self.builder.new_block("exit")
+        self.builder.jump(body_block)
+        self.builder.position_at(body_block)
+        self.loops.append(_LoopContext(latch_block, exit_block))
+        self._gen_stmt(stmt.body)
+        self.loops.pop()
+        if not self.builder.terminated:
+            self.builder.jump(latch_block)
+        self.builder.position_at(latch_block)
+        self._gen_condition(stmt.cond, body_block, exit_block)
+        self.builder.position_at(exit_block)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        body_block = self.builder.new_block("loop")
+        latch_block = self.builder.new_block("latch")
+        exit_block = self.builder.new_block("exit")
+        if stmt.cond is not None:
+            self._gen_condition(stmt.cond, body_block, exit_block)
+        else:
+            self.builder.jump(body_block)
+        self.builder.position_at(body_block)
+        self.loops.append(_LoopContext(latch_block, exit_block))
+        self._gen_stmt(stmt.body)
+        self.loops.pop()
+        if not self.builder.terminated:
+            self.builder.jump(latch_block)
+        self.builder.position_at(latch_block)
+        if stmt.step is not None:
+            self._gen_expr(stmt.step)
+        if stmt.cond is not None:
+            self._gen_condition(stmt.cond, body_block, exit_block)
+        else:
+            self.builder.jump(body_block)
+        self.builder.position_at(exit_block)
+
+    # -- conditions ----------------------------------------------------------------------
+    def _gen_condition(
+        self, expr: ast.Expr, iftrue: BasicBlock, iffalse: BasicBlock
+    ) -> None:
+        """Emit branching code for a boolean context."""
+        if isinstance(expr, ast.Binary) and expr.op in _COMPARISONS:
+            rels = (
+                _REL_UNSIGNED
+                if getattr(expr, "compare_unsigned", False)
+                else _REL_SIGNED
+            )
+            left = self._gen_expr(expr.left)
+            right = self._gen_expr(expr.right)
+            self.builder.branch(rels[expr.op], left, right, iftrue, iffalse)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            middle = self.builder.new_block("and")
+            self._gen_condition(expr.left, middle, iffalse)
+            self.builder.position_at(middle)
+            self._gen_condition(expr.right, iftrue, iffalse)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            middle = self.builder.new_block("or")
+            self._gen_condition(expr.left, iftrue, middle)
+            self.builder.position_at(middle)
+            self._gen_condition(expr.right, iftrue, iffalse)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._gen_condition(expr.operand, iffalse, iftrue)
+            return
+        if isinstance(expr, ast.IntLit):
+            self.builder.jump(iftrue if expr.value else iffalse)
+            return
+        value = self._gen_expr(expr)
+        self.builder.branch("ne", value, Const(0), iftrue, iffalse)
+
+    # -- lvalues --------------------------------------------------------------------------
+    def _gen_addr(self, expr: ast.Expr) -> Tuple[Reg, int]:
+        """Address of an lvalue as (base register, constant displacement)."""
+        if isinstance(expr, ast.Ident):
+            symbol = expr.symbol
+            if symbol.storage == "frame":
+                return self.builder.frameaddr(symbol.frame_slot), 0
+            if symbol.storage == "global":
+                return self.builder.globaladdr(symbol.name), 0
+            raise SemanticError(
+                f"internal: taking address of register {symbol.name}"
+            )
+        if isinstance(expr, ast.Index):
+            base_value = self._as_reg(self._gen_expr(expr.base))
+            element_size = self._size_of(expr.ctype)
+            index_value = self._gen_expr(expr.index)
+            if isinstance(index_value, Const):
+                return base_value, index_value.value * element_size
+            offset = self._scale(index_value, element_size)
+            return (
+                self.builder.binop("add", base_value, offset, "addr"),
+                0,
+            )
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self._as_reg(self._gen_expr(expr.operand)), 0
+        raise SemanticError(f"not an addressable lvalue: "
+                            f"{type(expr).__name__}")
+
+    def _load_lvalue(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.Ident) and expr.symbol.storage == "reg":
+            return expr.symbol.reg
+        base, disp = self._gen_addr(expr)
+        width, signed = self._access(expr.ctype)
+        return self.builder.load(base, disp, width, signed)
+
+    def _store_lvalue(
+        self, expr: ast.Expr, value: Operand,
+        addr: Optional[Tuple[Reg, int]] = None,
+    ) -> None:
+        if isinstance(expr, ast.Ident) and expr.symbol.storage == "reg":
+            self.builder.mov_to(expr.symbol.reg, value)
+            return
+        base, disp = addr if addr is not None else self._gen_addr(expr)
+        width, _ = self._access(expr.ctype)
+        self.builder.store(base, disp, value, width)
+
+    # -- expressions -----------------------------------------------------------------------
+    def _gen_expr(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.IntLit):
+            return Const(expr.value)
+        if isinstance(expr, ast.Ident):
+            symbol = expr.symbol
+            if symbol.ctype.is_array:
+                # Array name decays to its address.
+                if symbol.storage == "frame":
+                    return self.builder.frameaddr(symbol.frame_slot)
+                return self.builder.globaladdr(symbol.name)
+            return self._load_lvalue(expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._gen_incdec(expr)
+        if isinstance(expr, ast.CallExpr):
+            args = [self._gen_expr(a) for a in expr.args]
+            want = not expr.ctype.is_void
+            result = self.builder.call(expr.name, args, want)
+            return result if result is not None else Const(0)
+        if isinstance(expr, ast.Index):
+            if expr.ctype.is_array:
+                base, disp = self._gen_addr_of_subarray(expr)
+                if disp:
+                    return self.builder.binop("add", base, Const(disp))
+                return base
+            return self._load_lvalue(expr)
+        if isinstance(expr, ast.Cast):
+            return self._gen_cast(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._gen_conditional(expr)
+        if isinstance(expr, ast.SizeOf):
+            return Const(self._size_of(expr.target_type))
+        raise SemanticError(f"cannot generate {type(expr).__name__}")
+
+    def _gen_addr_of_subarray(self, expr: ast.Index) -> Tuple[Reg, int]:
+        base_value = self._as_reg(self._gen_expr(expr.base))
+        element_size = self._size_of(expr.ctype)
+        index_value = self._gen_expr(expr.index)
+        if isinstance(index_value, Const):
+            return base_value, index_value.value * element_size
+        offset = self._scale(index_value, element_size)
+        return self.builder.binop("add", base_value, offset, "addr"), 0
+
+    def _gen_binary(self, expr: ast.Binary) -> Operand:
+        op = expr.op
+        if op in _COMPARISONS or op in ("&&", "||"):
+            return self._materialize_bool(expr)
+        left_type = expr.left.ctype
+        right_type = expr.right.ctype
+        left_is_ptr = left_type.is_pointer or left_type.is_array
+        right_is_ptr = right_type.is_pointer or right_type.is_array
+
+        if op in ("+", "-") and (left_is_ptr or right_is_ptr):
+            return self._gen_pointer_arith(expr, left_is_ptr, right_is_ptr)
+
+        left = self._gen_expr(expr.left)
+        right = self._gen_expr(expr.right)
+        unsigned = isinstance(expr.ctype, ast.IntType) and (
+            not expr.ctype.signed
+        )
+        opcode = {
+            "+": "add", "-": "sub", "*": "mul",
+            "/": "divu" if unsigned else "div",
+            "%": "remu" if unsigned else "rem",
+            "&": "and", "|": "or", "^": "xor",
+            "<<": "shl",
+            ">>": "shrl" if unsigned else "shra",
+        }[op]
+        return self.builder.binop(opcode, left, right)
+
+    def _gen_pointer_arith(
+        self, expr: ast.Binary, left_is_ptr: bool, right_is_ptr: bool
+    ) -> Operand:
+        if left_is_ptr and right_is_ptr:  # pointer difference
+            left = self._gen_expr(expr.left)
+            right = self._gen_expr(expr.right)
+            diff = self.builder.binop("sub", left, right)
+            pointee = expr.left.ctype
+            pointee = (
+                pointee.pointee
+                if pointee.is_pointer
+                else pointee.element
+            )
+            size = self._size_of(pointee)
+            shift = _log2_exact(size)
+            if size == 1:
+                return diff
+            if shift is not None:
+                return self.builder.binop("shra", diff, Const(shift))
+            return self.builder.binop("div", diff, Const(size))
+        pointer_expr = expr.left if left_is_ptr else expr.right
+        integer_expr = expr.right if left_is_ptr else expr.left
+        pointer = self._gen_expr(pointer_expr)
+        pointee = pointer_expr.ctype
+        pointee = pointee.pointee if pointee.is_pointer else pointee.element
+        offset = self._scale(
+            self._gen_expr(integer_expr), self._size_of(pointee)
+        )
+        opcode = "add" if expr.op == "+" else "sub"
+        return self.builder.binop(opcode, pointer, offset)
+
+    def _materialize_bool(self, expr: ast.Expr) -> Reg:
+        """Turn a boolean context expression into a 0/1 register value."""
+        result = self.func.new_reg("flag")
+        true_block = self.builder.new_block("btrue")
+        false_block = self.builder.new_block("bfalse")
+        join_block = self.builder.new_block("bjoin")
+        self._gen_condition(expr, true_block, false_block)
+        self.builder.position_at(true_block)
+        self.builder.mov_to(result, Const(1))
+        self.builder.jump(join_block)
+        self.builder.position_at(false_block)
+        self.builder.mov_to(result, Const(0))
+        self.builder.jump(join_block)
+        self.builder.position_at(join_block)
+        return result
+
+    def _gen_unary(self, expr: ast.Unary) -> Operand:
+        op = expr.op
+        if op == "&":
+            target = expr.operand
+            if isinstance(target, ast.Ident) and target.symbol.ctype.is_array:
+                return self._gen_expr(target)
+            base, disp = self._gen_addr(target)
+            if disp:
+                return self.builder.binop("add", base, Const(disp))
+            return base
+        if op == "*":
+            return self._load_lvalue(expr)
+        if op == "!":
+            return self._materialize_bool(expr)
+        operand = self._gen_expr(expr.operand)
+        if op == "-":
+            if isinstance(operand, Const):
+                return Const(-operand.value)
+            return self.builder.unop("neg", operand)
+        if op == "~":
+            if isinstance(operand, Const):
+                return Const(~operand.value)
+            return self.builder.unop("not", operand)
+        raise SemanticError(f"cannot generate unary {op!r}")
+
+    def _gen_assign(self, expr: ast.Assign) -> Operand:
+        target = expr.target
+        if expr.op == "":
+            value = self._gen_expr(expr.value)
+            value = self._convert(value, expr.value.ctype, target.ctype)
+            self._store_lvalue(target, value)
+            return value
+        # Compound assignment: evaluate the address once.
+        if isinstance(target, ast.Ident) and target.symbol.storage == "reg":
+            old = target.symbol.reg
+            new = self._apply_compound(expr, old)
+            self.builder.mov_to(target.symbol.reg, new)
+            return new
+        addr = self._gen_addr(target)
+        width, signed = self._access(target.ctype)
+        old = self.builder.load(addr[0], addr[1], width, signed)
+        new = self._apply_compound(expr, old)
+        self._store_lvalue(target, new, addr)
+        return new
+
+    def _apply_compound(self, expr: ast.Assign, old: Operand) -> Operand:
+        target_type = expr.target.ctype
+        value = self._gen_expr(expr.value)
+        if target_type.is_pointer:
+            pointee_size = self._size_of(target_type.pointee)
+            value = self._scale(value, pointee_size)
+            opcode = "add" if expr.op == "+" else "sub"
+            return self.builder.binop(opcode, old, value)
+        unsigned = isinstance(target_type, ast.IntType) and (
+            not target_type.signed
+        )
+        opcode = {
+            "+": "add", "-": "sub", "*": "mul",
+            "/": "divu" if unsigned else "div",
+            "%": "remu" if unsigned else "rem",
+            "&": "and", "|": "or", "^": "xor",
+            "<<": "shl",
+            ">>": "shrl" if unsigned else "shra",
+        }[expr.op]
+        return self.builder.binop(opcode, old, value)
+
+    def _gen_incdec(self, expr: ast.IncDec) -> Operand:
+        target = expr.operand
+        target_type = target.ctype
+        step: Operand = Const(1)
+        if target_type.is_pointer:
+            step = Const(self._size_of(target_type.pointee))
+        opcode = "add" if expr.op == "++" else "sub"
+
+        if isinstance(target, ast.Ident) and target.symbol.storage == "reg":
+            reg = target.symbol.reg
+            if expr.is_prefix:
+                self.builder.mov_to(
+                    reg, self.builder.binop(opcode, reg, step)
+                )
+                return reg
+            old = self.builder.mov(reg, "old")
+            self.builder.mov_to(reg, self.builder.binop(opcode, reg, step))
+            return old
+
+        addr = self._gen_addr(target)
+        width, signed = self._access(target_type)
+        old = self.builder.load(addr[0], addr[1], width, signed)
+        new = self.builder.binop(opcode, old, step)
+        self._store_lvalue(target, new, addr)
+        return new if expr.is_prefix else old
+
+    def _gen_cast(self, expr: ast.Cast) -> Operand:
+        value = self._gen_expr(expr.operand)
+        return self._convert(value, expr.operand.ctype, expr.target_type)
+
+    def _convert(
+        self, value: Operand, from_type: ast.CType, to_type: ast.CType
+    ) -> Operand:
+        """Re-extend ``value`` when converting to a narrower integer type."""
+        if not isinstance(to_type, ast.IntType):
+            return value
+        width = self._size_of(to_type)
+        if width >= self.word_bytes:
+            return value
+        if isinstance(value, Const):
+            mask = (1 << (8 * width)) - 1
+            low = value.value & mask
+            if to_type.signed and low & (1 << (8 * width - 1)):
+                low -= 1 << (8 * width)
+            return Const(low)
+        if isinstance(from_type, ast.IntType) and (
+            self._size_of(from_type) <= width
+            and from_type.signed == to_type.signed
+        ):
+            return value  # already in range
+        opcode = f"{'s' if to_type.signed else 'z'}ext{width}"
+        return self.builder.unop(opcode, value)
+
+    def _gen_conditional(self, expr: ast.Conditional) -> Operand:
+        result = self.func.new_reg("sel")
+        then_block = self.builder.new_block("cthen")
+        else_block = self.builder.new_block("celse")
+        join_block = self.builder.new_block("cjoin")
+        self._gen_condition(expr.cond, then_block, else_block)
+        self.builder.position_at(then_block)
+        self.builder.mov_to(result, self._gen_expr(expr.then))
+        self.builder.jump(join_block)
+        self.builder.position_at(else_block)
+        self.builder.mov_to(result, self._gen_expr(expr.other))
+        self.builder.jump(join_block)
+        self.builder.position_at(join_block)
+        return result
+
+
+def generate(
+    program: ast.Program, word_bytes: int = 8, name: str = "module"
+) -> Module:
+    """Generate an RTL module from a semantically analyzed program."""
+    return CodeGenerator(word_bytes, name).generate(program)

@@ -1,0 +1,168 @@
+"""Tokenizer for MiniC."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset(
+    {
+        "void", "char", "short", "int", "long", "unsigned", "signed",
+        "if", "else", "while", "for", "do", "return", "break", "continue",
+        "sizeof",
+    }
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "[", "]", "{", "}", ";", ",", "?", ":",
+]
+
+
+class Token(NamedTuple):
+    """One lexical token.
+
+    ``kind`` is one of ``"ident"``, ``"number"``, ``"keyword"``, ``"op"``
+    or ``"eof"``; ``text`` is the exact source spelling (for numbers, the
+    literal); ``line``/``column`` are 1-based.
+    """
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "op" and self.text in ops
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "keyword" and self.text in words
+
+
+class Lexer:
+    """Hand-rolled maximal-munch scanner."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif src.startswith("//", self.pos):
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance()
+            elif src.startswith("/*", self.pos):
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while not src.startswith("*/", self.pos):
+                    if self.pos >= len(src):
+                        raise ParseError(
+                            "unterminated block comment",
+                            start_line, start_col,
+                        )
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        src = self.source
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(src):
+                yield Token("eof", "", self.line, self.column)
+                return
+            line, column = self.line, self.column
+            ch = src[self.pos]
+
+            if ch.isalpha() or ch == "_":
+                start = self.pos
+                while self.pos < len(src) and (
+                    src[self.pos].isalnum() or src[self.pos] == "_"
+                ):
+                    self._advance()
+                text = src[start:self.pos]
+                kind = "keyword" if text in KEYWORDS else "ident"
+                yield Token(kind, text, line, column)
+                continue
+
+            if ch.isdigit():
+                start = self.pos
+                if src.startswith(("0x", "0X"), self.pos):
+                    self._advance(2)
+                    while self.pos < len(src) and (
+                        src[self.pos] in "0123456789abcdefABCDEF"
+                    ):
+                        self._advance()
+                    if self.pos == start + 2:
+                        raise self._error("bad hex literal")
+                else:
+                    while self.pos < len(src) and src[self.pos].isdigit():
+                        self._advance()
+                # Accept (and ignore) C's integer suffixes.
+                while self.pos < len(src) and src[self.pos] in "uUlL":
+                    self._advance()
+                yield Token("number", src[start:self.pos], line, column)
+                continue
+
+            if ch == "'":
+                # Character constant; value becomes a number token.
+                self._advance()
+                if self.pos >= len(src):
+                    raise self._error("unterminated character constant")
+                value_char = src[self.pos]
+                if value_char == "\\":
+                    self._advance()
+                    if self.pos >= len(src):
+                        raise self._error("bad escape")
+                    escapes = {
+                        "n": "\n", "t": "\t", "r": "\r", "0": "\0",
+                        "\\": "\\", "'": "'",
+                    }
+                    if src[self.pos] not in escapes:
+                        raise self._error(
+                            f"unknown escape \\{src[self.pos]}"
+                        )
+                    value_char = escapes[src[self.pos]]
+                self._advance()
+                if self.pos >= len(src) or src[self.pos] != "'":
+                    raise self._error("unterminated character constant")
+                self._advance()
+                yield Token("number", str(ord(value_char)), line, column)
+                continue
+
+            for op in _OPERATORS:
+                if src.startswith(op, self.pos):
+                    self._advance(len(op))
+                    yield Token("op", op, line, column)
+                    break
+            else:
+                raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; the list always ends with an ``eof`` token."""
+    return list(Lexer(source).tokens())

@@ -1,0 +1,389 @@
+"""Semantic analysis for MiniC.
+
+Responsibilities:
+
+* name resolution via lexically scoped symbol tables;
+* type checking with C-like (but simplified) conversion rules;
+* storage assignment: scalar locals and parameters live in virtual
+  registers, arrays and address-taken locals live in frame slots,
+  module-level variables live in globals;
+* decoration of the AST: every expression gets ``ctype``/``is_lvalue``,
+  every identifier gets its ``Symbol``, ready for the code generator.
+
+Integer model: values are promoted to the machine word for computation.
+An operation is *unsigned* when either promoted operand is an unsigned
+``int`` or ``long`` (unsigned ``char``/``short`` promote to signed ``int``,
+as in C).  Signedness matters to division, right shifts and comparisons,
+and the code generator reads it from the decorated types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import SemanticError
+from repro.frontend import cast as ast
+
+_INT = ast.IntType("int")
+_LONG = ast.IntType("long")
+_RANK_ORDER = {"char": 0, "short": 1, "int": 2, "long": 3}
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.symbols: Dict[str, ast.Symbol] = {}
+
+    def declare(self, symbol: ast.Symbol, line: int) -> None:
+        if symbol.name in self.symbols:
+            raise SemanticError(
+                f"line {line}: redeclaration of {symbol.name!r}"
+            )
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[ast.Symbol]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+def _promote(ctype: ast.CType) -> ast.CType:
+    """Integer promotion: char/short become (signed) int."""
+    if isinstance(ctype, ast.IntType) and ctype.rank in ("char", "short"):
+        return _INT
+    return ctype
+
+
+def _decay(ctype: ast.CType) -> ast.CType:
+    if isinstance(ctype, ast.ArrayType):
+        return ctype.decay()
+    return ctype
+
+
+def _is_scalar(ctype: ast.CType) -> bool:
+    return ctype.is_integer or ctype.is_pointer
+
+
+def _arithmetic_result(a: ast.CType, b: ast.CType) -> ast.IntType:
+    """Usual arithmetic conversions, word-width flavoured."""
+    pa, pb = _promote(a), _promote(b)
+    assert isinstance(pa, ast.IntType) and isinstance(pb, ast.IntType)
+    rank = max(pa.rank, pb.rank, key=_RANK_ORDER.__getitem__)
+    signed = pa.signed and pb.signed
+    return ast.IntType(rank, signed)
+
+
+class Analyzer:
+    def __init__(self, word_bytes: int):
+        self.word_bytes = word_bytes
+        self.globals = _Scope()
+        self.functions: Dict[str, ast.FuncSymbol] = {}
+        self.current_function: Optional[ast.FuncDef] = None
+        self.loop_depth = 0
+
+    def _error(self, node: ast.Node, message: str) -> SemanticError:
+        return SemanticError(f"line {node.line}: {message}")
+
+    # -- program ---------------------------------------------------------------
+    def analyze(self, program: ast.Program) -> None:
+        # Declare all functions first so forward calls work.
+        for func in program.functions():
+            if func.name in self.functions:
+                raise self._error(func, f"redefinition of {func.name!r}")
+            self.functions[func.name] = ast.FuncSymbol(
+                func.name, func.ret_type, [p.ctype for p in func.params]
+            )
+        for decl in program.decls:
+            if isinstance(decl, ast.VarDecl):
+                self._declare_global(decl)
+        for func in program.functions():
+            self._check_function(func)
+
+    def _declare_global(self, decl: ast.VarDecl) -> None:
+        if decl.ctype.is_void:
+            raise self._error(decl, "void variable")
+        if decl.init is not None:
+            raise self._error(
+                decl, "global initializers are not supported; the harness "
+                "stages data via the simulator"
+            )
+        symbol = ast.Symbol(decl.name, decl.ctype, "global")
+        self.globals.declare(symbol, decl.line)
+        decl.symbol = symbol
+
+    # -- functions -------------------------------------------------------------
+    def _check_function(self, func: ast.FuncDef) -> None:
+        self.current_function = func
+        scope = _Scope(self.globals)
+        for param in func.params:
+            if param.ctype.is_void or param.ctype.is_array:
+                raise self._error(
+                    func, f"bad parameter type for {param.name!r}"
+                )
+            symbol = ast.Symbol(param.name, param.ctype, "reg")
+            scope.declare(symbol, func.line)
+            param.symbol = symbol
+        self._check_block(func.body, scope)
+        self.current_function = None
+
+    # -- statements ----------------------------------------------------------------
+    def _check_block(self, block: ast.Block, parent: _Scope) -> None:
+        scope = _Scope(parent)
+        for stmt in block.stmts:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_local_decl(stmt, scope)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._check_local_decl(decl, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_condition(stmt.cond, scope)
+            self._check_stmt(stmt.then, scope)
+            if stmt.other is not None:
+                self._check_stmt(stmt.other, scope)
+        elif isinstance(stmt, ast.While):
+            self._check_condition(stmt.cond, scope)
+            self._in_loop(stmt.body, scope)
+        elif isinstance(stmt, ast.DoWhile):
+            self._in_loop(stmt.body, scope)
+            self._check_condition(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_condition(stmt.cond, inner)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, inner)
+            self._in_loop(stmt.body, inner)
+        elif isinstance(stmt, ast.Return):
+            func = self.current_function
+            assert func is not None
+            if stmt.value is None:
+                if not func.ret_type.is_void:
+                    raise self._error(stmt, "return without a value")
+            else:
+                if func.ret_type.is_void:
+                    raise self._error(stmt, "return with a value in void "
+                                            "function")
+                value_type = self._check_expr(stmt.value, scope)
+                if not _is_scalar(_decay(value_type)):
+                    raise self._error(stmt, "cannot return this type")
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                keyword = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise self._error(stmt, f"{keyword} outside a loop")
+        else:
+            raise self._error(stmt, f"unknown statement {type(stmt).__name__}")
+
+    def _in_loop(self, body: ast.Stmt, scope: _Scope) -> None:
+        self.loop_depth += 1
+        try:
+            self._check_stmt(body, scope)
+        finally:
+            self.loop_depth -= 1
+
+    def _check_local_decl(self, decl: ast.VarDecl, scope: _Scope) -> None:
+        if decl.ctype.is_void:
+            raise self._error(decl, "void variable")
+        storage = "frame" if decl.ctype.is_array else "reg"
+        symbol = ast.Symbol(decl.name, decl.ctype, storage)
+        scope.declare(symbol, decl.line)
+        decl.symbol = symbol
+        if decl.init is not None:
+            if decl.ctype.is_array:
+                raise self._error(decl, "array initializers not supported")
+            init_type = _decay(self._check_expr(decl.init, scope))
+            if not _is_scalar(init_type):
+                raise self._error(decl, "bad initializer type")
+
+    def _check_condition(self, cond: ast.Expr, scope: _Scope) -> None:
+        ctype = _decay(self._check_expr(cond, scope))
+        if not _is_scalar(ctype):
+            raise self._error(cond, "condition is not scalar")
+
+    # -- expressions -------------------------------------------------------------------
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> ast.CType:
+        ctype = self._type_of(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _type_of(self, expr: ast.Expr, scope: _Scope) -> ast.CType:
+        if isinstance(expr, ast.IntLit):
+            expr.is_lvalue = False
+            return _INT
+        if isinstance(expr, ast.Ident):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                raise self._error(expr, f"undeclared name {expr.name!r}")
+            expr.symbol = symbol
+            expr.is_lvalue = not symbol.ctype.is_array
+            return symbol.ctype
+        if isinstance(expr, ast.Binary):
+            return self._type_of_binary(expr, scope)
+        if isinstance(expr, ast.Unary):
+            return self._type_of_unary(expr, scope)
+        if isinstance(expr, ast.Assign):
+            target_type = self._check_expr(expr.target, scope)
+            if not expr.target.is_lvalue:
+                raise self._error(expr, "assignment target is not an lvalue")
+            value_type = _decay(self._check_expr(expr.value, scope))
+            if not _is_scalar(value_type) or not _is_scalar(
+                _decay(target_type)
+            ):
+                raise self._error(expr, "bad assignment types")
+            if expr.op in ("<<", ">>", "%", "&", "|", "^") and (
+                target_type.is_pointer or value_type.is_pointer
+            ):
+                raise self._error(expr, f"pointer {expr.op}= is meaningless")
+            expr.is_lvalue = False
+            return target_type
+        if isinstance(expr, ast.IncDec):
+            operand_type = self._check_expr(expr.operand, scope)
+            if not expr.operand.is_lvalue:
+                raise self._error(expr, f"{expr.op} needs an lvalue")
+            if not _is_scalar(_decay(operand_type)):
+                raise self._error(expr, f"{expr.op} on non-scalar")
+            expr.is_lvalue = False
+            return operand_type
+        if isinstance(expr, ast.CallExpr):
+            func = self.functions.get(expr.name)
+            if func is None:
+                raise self._error(expr, f"call to unknown function "
+                                        f"{expr.name!r}")
+            if len(expr.args) != len(func.param_types):
+                raise self._error(
+                    expr,
+                    f"{expr.name} expects {len(func.param_types)} args, "
+                    f"got {len(expr.args)}",
+                )
+            for arg in expr.args:
+                arg_type = _decay(self._check_expr(arg, scope))
+                if not _is_scalar(arg_type):
+                    raise self._error(expr, "bad argument type")
+            expr.is_lvalue = False
+            return func.ret_type
+        if isinstance(expr, ast.Index):
+            base_type = _decay(self._check_expr(expr.base, scope))
+            if not base_type.is_pointer:
+                raise self._error(expr, "subscript of a non-pointer")
+            index_type = _decay(self._check_expr(expr.index, scope))
+            if not index_type.is_integer:
+                raise self._error(expr, "subscript index is not an integer")
+            element = base_type.pointee
+            expr.is_lvalue = not element.is_array
+            return element
+        if isinstance(expr, ast.Cast):
+            self._check_expr(expr.operand, scope)
+            expr.is_lvalue = False
+            return expr.target_type
+        if isinstance(expr, ast.Conditional):
+            self._check_condition(expr.cond, scope)
+            then_type = _decay(self._check_expr(expr.then, scope))
+            other_type = _decay(self._check_expr(expr.other, scope))
+            expr.is_lvalue = False
+            if then_type.is_pointer:
+                return then_type
+            if not (then_type.is_integer and other_type.is_integer):
+                if not other_type.is_pointer:
+                    raise self._error(expr, "incompatible ?: branches")
+                return other_type
+            return _arithmetic_result(then_type, other_type)
+        if isinstance(expr, ast.SizeOf):
+            expr.is_lvalue = False
+            return _LONG
+        raise self._error(expr, f"unknown expression {type(expr).__name__}")
+
+    def _type_of_binary(self, expr: ast.Binary, scope: _Scope) -> ast.CType:
+        left = _decay(self._check_expr(expr.left, scope))
+        right = _decay(self._check_expr(expr.right, scope))
+        op = expr.op
+        expr.is_lvalue = False
+
+        if op in ("&&", "||"):
+            if not (_is_scalar(left) and _is_scalar(right)):
+                raise self._error(expr, f"bad operands to {op}")
+            return _INT
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if left.is_pointer != right.is_pointer:
+                # Allow pointer vs integer-zero comparisons.
+                other = right if left.is_pointer else left
+                if not other.is_integer:
+                    raise self._error(expr, f"bad comparison operands")
+            # Remember the comparison semantics for codegen: unsigned when
+            # comparing pointers or when the arithmetic result is unsigned.
+            if left.is_pointer or right.is_pointer:
+                expr.compare_unsigned = True
+            else:
+                expr.compare_unsigned = not _arithmetic_result(
+                    left, right
+                ).signed
+            return _INT
+        if op in ("+", "-"):
+            if left.is_pointer and right.is_integer:
+                return left
+            if op == "+" and left.is_integer and right.is_pointer:
+                return right
+            if op == "-" and left.is_pointer and right.is_pointer:
+                if left != right:
+                    raise self._error(expr, "subtracting unrelated pointers")
+                return _LONG
+            if left.is_integer and right.is_integer:
+                return _arithmetic_result(left, right)
+            raise self._error(expr, f"bad operands to {op}")
+        if op in ("*", "/", "%", "&", "|", "^", "<<", ">>"):
+            if not (left.is_integer and right.is_integer):
+                raise self._error(expr, f"bad operands to {op}")
+            if op in ("<<", ">>"):
+                return _promote(left)
+            return _arithmetic_result(left, right)
+        raise self._error(expr, f"unknown binary operator {op!r}")
+
+    def _type_of_unary(self, expr: ast.Unary, scope: _Scope) -> ast.CType:
+        op = expr.op
+        if op == "&":
+            operand_type = self._check_expr(expr.operand, scope)
+            target = expr.operand
+            if isinstance(target, ast.Ident):
+                if target.symbol.ctype.is_array:
+                    # &array is the array address; same value as decay.
+                    expr.is_lvalue = False
+                    return target.symbol.ctype.decay()
+                target.symbol.address_taken = True
+                if target.symbol.storage == "reg":
+                    target.symbol.storage = "frame"
+            elif not target.is_lvalue:
+                raise self._error(expr, "& needs an lvalue")
+            expr.is_lvalue = False
+            return ast.PointerType(operand_type)
+        operand_type = _decay(self._check_expr(expr.operand, scope))
+        if op == "*":
+            if not operand_type.is_pointer:
+                raise self._error(expr, "dereference of a non-pointer")
+            pointee = operand_type.pointee
+            expr.is_lvalue = not pointee.is_array
+            return pointee
+        expr.is_lvalue = False
+        if op == "!":
+            if not _is_scalar(operand_type):
+                raise self._error(expr, "! on non-scalar")
+            return _INT
+        if op in ("-", "~"):
+            if not operand_type.is_integer:
+                raise self._error(expr, f"{op} on non-integer")
+            return _promote(operand_type)
+        raise self._error(expr, f"unknown unary operator {op!r}")
+
+
+def analyze(program: ast.Program, word_bytes: int = 8) -> None:
+    """Type-check and decorate ``program`` in place."""
+    Analyzer(word_bytes).analyze(program)

@@ -1,0 +1,83 @@
+"""vpo-style RTL intermediate representation.
+
+The IR models register transfer lists the way the paper's back end (vpo)
+does: a function is a list of basic blocks, each block a list of register
+transfers ending in an explicit terminator.  Registers are virtual and
+unlimited; a late machine pass may bind them to physical registers.
+
+Public surface:
+
+* :mod:`repro.ir.rtl` — instruction and operand classes.
+* :mod:`repro.ir.function` — :class:`BasicBlock`, :class:`Function`,
+  :class:`Module`, :class:`GlobalVar`.
+* :mod:`repro.ir.printer` / :mod:`repro.ir.parser` — round-trippable text
+  format used by tests and examples.
+* :mod:`repro.ir.verifier` — structural well-formedness checks.
+* :mod:`repro.ir.builder` — convenience builder used by the front end.
+"""
+
+from repro.ir.rtl import (
+    BIN_OPS,
+    COMMUTATIVE_OPS,
+    RELATIONS,
+    UN_OPS,
+    BinOp,
+    Call,
+    CondJump,
+    Const,
+    Extract,
+    FrameAddr,
+    GlobalAddr,
+    Insert,
+    Instr,
+    Jump,
+    Load,
+    Mov,
+    Reg,
+    Ret,
+    Store,
+    UnOp,
+    invert_relation,
+    swap_relation,
+)
+from repro.ir.function import BasicBlock, Function, GlobalVar, Module
+from repro.ir.printer import format_function, format_instr, format_module
+from repro.ir.parser import parse_module
+from repro.ir.verifier import verify_function, verify_module
+from repro.ir.builder import IRBuilder
+
+__all__ = [
+    "BIN_OPS",
+    "COMMUTATIVE_OPS",
+    "RELATIONS",
+    "UN_OPS",
+    "BasicBlock",
+    "BinOp",
+    "Call",
+    "CondJump",
+    "Const",
+    "Extract",
+    "FrameAddr",
+    "Function",
+    "GlobalAddr",
+    "GlobalVar",
+    "IRBuilder",
+    "Insert",
+    "Instr",
+    "Jump",
+    "Load",
+    "Module",
+    "Mov",
+    "Reg",
+    "Ret",
+    "Store",
+    "UnOp",
+    "format_function",
+    "format_instr",
+    "format_module",
+    "invert_relation",
+    "parse_module",
+    "swap_relation",
+    "verify_function",
+    "verify_module",
+]

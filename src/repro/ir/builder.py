@@ -1,0 +1,137 @@
+"""A small convenience layer for emitting RTL.
+
+The front end's code generator uses this to avoid threading "current
+block" state by hand.  The builder always appends to the block selected by
+:meth:`IRBuilder.position_at`; helper methods create fresh destination
+registers so expression code generation stays one-liner-ish.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import IRError
+from repro.ir.function import BasicBlock, Function
+from repro.ir.rtl import (
+    BinOp,
+    Call,
+    CondJump,
+    Const,
+    FrameAddr,
+    GlobalAddr,
+    Instr,
+    Jump,
+    Load,
+    Mov,
+    Operand,
+    Reg,
+    Ret,
+    Store,
+    UnOp,
+)
+
+
+class IRBuilder:
+    """Append-only instruction emitter bound to one :class:`Function`."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self._block: Optional[BasicBlock] = None
+
+    # -- block management ----------------------------------------------------
+    def new_block(self, hint: str = "L") -> BasicBlock:
+        return self.func.add_block(self.func.new_label(hint))
+
+    def position_at(self, block: BasicBlock) -> None:
+        self._block = block
+
+    @property
+    def block(self) -> BasicBlock:
+        if self._block is None:
+            raise IRError("builder has no current block")
+        return self._block
+
+    @property
+    def terminated(self) -> bool:
+        """True when the current block already ends in a terminator."""
+        instrs = self.block.instrs
+        return bool(instrs) and instrs[-1].is_terminator
+
+    def emit(self, instr: Instr) -> Instr:
+        if self.terminated:
+            raise IRError(
+                f"emitting {instr!r} after terminator in "
+                f"{self.block.label}"
+            )
+        self.block.instrs.append(instr)
+        return instr
+
+    # -- value helpers ---------------------------------------------------------
+    def const(self, value: int) -> Const:
+        return Const(value)
+
+    def mov(self, src: Operand, name: str = "") -> Reg:
+        dst = self.func.new_reg(name)
+        self.emit(Mov(dst, src))
+        return dst
+
+    def mov_to(self, dst: Reg, src: Operand) -> Reg:
+        self.emit(Mov(dst, src))
+        return dst
+
+    def binop(self, op: str, a: Operand, b: Operand, name: str = "") -> Reg:
+        dst = self.func.new_reg(name)
+        self.emit(BinOp(op, dst, a, b))
+        return dst
+
+    def unop(self, op: str, a: Operand, name: str = "") -> Reg:
+        dst = self.func.new_reg(name)
+        self.emit(UnOp(op, dst, a))
+        return dst
+
+    def load(
+        self,
+        base: Reg,
+        disp: int,
+        width: int,
+        signed: bool = True,
+        name: str = "",
+    ) -> Reg:
+        dst = self.func.new_reg(name)
+        self.emit(Load(dst, base, disp, width, signed))
+        return dst
+
+    def store(self, base: Reg, disp: int, src: Operand, width: int) -> None:
+        self.emit(Store(base, disp, src, width))
+
+    def frameaddr(self, slot: str, name: str = "") -> Reg:
+        dst = self.func.new_reg(name)
+        self.emit(FrameAddr(dst, slot))
+        return dst
+
+    def globaladdr(self, global_name: str, name: str = "") -> Reg:
+        dst = self.func.new_reg(name)
+        self.emit(GlobalAddr(dst, global_name))
+        return dst
+
+    def call(self, func_name: str, args, want_value: bool) -> Optional[Reg]:
+        dst = self.func.new_reg() if want_value else None
+        self.emit(Call(dst, func_name, args))
+        return dst
+
+    # -- control flow ------------------------------------------------------------
+    def jump(self, target: BasicBlock) -> None:
+        self.emit(Jump(target.label))
+
+    def branch(
+        self,
+        rel: str,
+        a: Operand,
+        b: Operand,
+        iftrue: BasicBlock,
+        iffalse: BasicBlock,
+    ) -> None:
+        self.emit(CondJump(rel, a, b, iftrue.label, iffalse.label))
+
+    def ret(self, value: Optional[Operand] = None) -> None:
+        self.emit(Ret(value))

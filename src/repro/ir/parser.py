@@ -1,0 +1,272 @@
+"""Parser for the RTL text format produced by :mod:`repro.ir.printer`.
+
+The format is line oriented; ``#`` starts a comment that runs to the end of
+the line.  See the printer's module docstring for a full example.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.ir.rtl import (
+    BIN_OPS,
+    RELATIONS,
+    UN_OPS,
+    BinOp,
+    Call,
+    CondJump,
+    Const,
+    Extract,
+    FrameAddr,
+    GlobalAddr,
+    Insert,
+    Jump,
+    Load,
+    Mov,
+    Operand,
+    Reg,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.function import Function, GlobalVar, Module
+
+_REG_RE = re.compile(r"^r(\d+)$")
+_INT_RE = re.compile(r"^-?(?:0[xX][0-9a-fA-F]+|\d+)$")
+_ADDR_RE = re.compile(r"^\[\s*r(\d+)\s*(?:([+-])\s*(\d+)\s*)?\]$")
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_FUNC_RE = re.compile(r"^func\s+([A-Za-z_]\w*)\s*\(([^)]*)\)\s*\{$")
+_GLOBAL_RE = re.compile(
+    r"^global\s+([A-Za-z_]\w*)\[(\d+)\](?:\s+align\s+(\d+))?$"
+)
+_FRAME_RE = re.compile(
+    r"^frame\s+([A-Za-z_.][\w.]*)\[(\d+)\](?:\s+align\s+(\d+))?$"
+)
+_MEM_OP_RE = re.compile(r"^(u?load)\.([1248])([su])$")
+_STORE_RE = re.compile(r"^(u?store)\.([1248])$")
+_EXT_RE = re.compile(r"^ext\.([1248])([su])$")
+_INS_RE = re.compile(r"^ins\.([1248])$")
+_CALL_RE = re.compile(r"^call\s+([A-Za-z_]\w*)\s*\(([^)]*)\)$")
+
+
+def _parse_operand(text: str, line_no: int) -> Operand:
+    text = text.strip()
+    match = _REG_RE.match(text)
+    if match:
+        return Reg(int(match.group(1)))
+    if _INT_RE.match(text):
+        return Const(int(text, 0))
+    raise ParseError(f"bad operand {text!r}", line_no)
+
+
+def _parse_reg(text: str, line_no: int) -> Reg:
+    operand = _parse_operand(text, line_no)
+    if not isinstance(operand, Reg):
+        raise ParseError(f"expected a register, got {text!r}", line_no)
+    return operand
+
+
+def _parse_addr(text: str, line_no: int) -> Tuple[Reg, int]:
+    match = _ADDR_RE.match(text.strip())
+    if not match:
+        raise ParseError(f"bad address {text!r}", line_no)
+    base = Reg(int(match.group(1)))
+    disp = 0
+    if match.group(3) is not None:
+        disp = int(match.group(3))
+        if match.group(2) == "-":
+            disp = -disp
+    return base, disp
+
+
+def _split_args(text: str) -> List[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def _parse_rhs(dst: Reg, rhs: str, line_no: int):
+    """Parse the right-hand side of a ``rX = ...`` line."""
+    rhs = rhs.strip()
+    # Call: "call f(a, b)"
+    call_match = _CALL_RE.match(rhs)
+    if call_match:
+        args = [
+            _parse_operand(a, line_no)
+            for a in _split_args(call_match.group(2))
+        ]
+        return Call(dst, call_match.group(1), args)
+
+    head, _, rest = rhs.partition(" ")
+    mem = _MEM_OP_RE.match(head)
+    if mem:
+        base, disp = _parse_addr(rest, line_no)
+        return Load(
+            dst,
+            base,
+            disp,
+            int(mem.group(2)),
+            signed=mem.group(3) == "s",
+            unaligned=mem.group(1) == "uload",
+        )
+    ext = _EXT_RE.match(head)
+    if ext:
+        parts = _split_args(rest)
+        if len(parts) != 2 or not parts[1].startswith("pos="):
+            raise ParseError(f"bad ext operands {rest!r}", line_no)
+        return Extract(
+            dst,
+            _parse_reg(parts[0], line_no),
+            _parse_operand(parts[1][4:], line_no),
+            int(ext.group(1)),
+            signed=ext.group(2) == "s",
+        )
+    ins = _INS_RE.match(head)
+    if ins:
+        parts = _split_args(rest)
+        if len(parts) != 3 or not parts[2].startswith("pos="):
+            raise ParseError(f"bad ins operands {rest!r}", line_no)
+        return Insert(
+            dst,
+            _parse_operand(parts[0], line_no),
+            _parse_operand(parts[1], line_no),
+            _parse_operand(parts[2][4:], line_no),
+            int(ins.group(1)),
+        )
+    if head == "frameaddr":
+        return FrameAddr(dst, rest.strip())
+    if head == "globaladdr":
+        return GlobalAddr(dst, rest.strip())
+    if head in BIN_OPS:
+        parts = _split_args(rest)
+        if len(parts) != 2:
+            raise ParseError(f"{head} needs two operands", line_no)
+        return BinOp(
+            head,
+            dst,
+            _parse_operand(parts[0], line_no),
+            _parse_operand(parts[1], line_no),
+        )
+    if head in UN_OPS:
+        return UnOp(head, dst, _parse_operand(rest, line_no))
+    # Plain move: "rX = rY" or "rX = 5"
+    return Mov(dst, _parse_operand(rhs, line_no))
+
+
+def _parse_instr(text: str, line_no: int):
+    text = text.strip()
+    if text.startswith("store.") or text.startswith("ustore."):
+        head, _, rest = text.partition(" ")
+        match = _STORE_RE.match(head)
+        if not match:
+            raise ParseError(f"bad store mnemonic {head!r}", line_no)
+        addr_text, _, src_text = rest.rpartition(",")
+        if not addr_text:
+            raise ParseError("store needs an address and a source", line_no)
+        base, disp = _parse_addr(addr_text, line_no)
+        return Store(
+            base,
+            disp,
+            _parse_operand(src_text, line_no),
+            int(match.group(2)),
+            unaligned=match.group(1) == "ustore",
+        )
+    if text.startswith("jump "):
+        return Jump(text[5:].strip())
+    if text.startswith("br "):
+        rest = text[3:].strip()
+        rel, _, operands = rest.partition(" ")
+        if rel not in RELATIONS:
+            raise ParseError(f"unknown relation {rel!r}", line_no)
+        parts = _split_args(operands)
+        if len(parts) != 4:
+            raise ParseError("br needs: rel a, b, iftrue, iffalse", line_no)
+        return CondJump(
+            rel,
+            _parse_operand(parts[0], line_no),
+            _parse_operand(parts[1], line_no),
+            parts[2],
+            parts[3],
+        )
+    if text == "ret":
+        return Ret(None)
+    if text.startswith("ret "):
+        return Ret(_parse_operand(text[4:], line_no))
+    call_match = _CALL_RE.match(text)
+    if call_match:
+        args = [
+            _parse_operand(a, line_no)
+            for a in _split_args(call_match.group(2))
+        ]
+        return Call(None, call_match.group(1), args)
+    dst_text, eq, rhs = text.partition("=")
+    if eq and _REG_RE.match(dst_text.strip()):
+        return _parse_rhs(_parse_reg(dst_text, line_no), rhs, line_no)
+    raise ParseError(f"cannot parse instruction {text!r}", line_no)
+
+
+def parse_module(source: str, name: str = "module") -> Module:
+    """Parse a textual module back into IR objects."""
+    module = Module(name)
+    func: Optional[Function] = None
+    current_label: Optional[str] = None
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("module "):
+            module.name = line[7:].strip()
+            continue
+        global_match = _GLOBAL_RE.match(line)
+        if global_match and func is None:
+            module.add_global(
+                GlobalVar(
+                    global_match.group(1),
+                    int(global_match.group(2)),
+                    int(global_match.group(3) or 8),
+                )
+            )
+            continue
+        func_match = _FUNC_RE.match(line)
+        if func_match:
+            if func is not None:
+                raise ParseError("nested func", line_no)
+            params = [
+                _parse_reg(p, line_no)
+                for p in _split_args(func_match.group(2))
+            ]
+            func = Function(func_match.group(1), params)
+            current_label = None
+            continue
+        if line == "}":
+            if func is None:
+                raise ParseError("unmatched '}'", line_no)
+            func.reserve_reg_index(func.max_reg_index())
+            module.add_function(func)
+            func = None
+            continue
+        if func is None:
+            raise ParseError(f"statement outside a function: {line!r}", line_no)
+        frame_match = _FRAME_RE.match(line)
+        if frame_match:
+            func.frame_slots[frame_match.group(1)] = (
+                int(frame_match.group(2)),
+                int(frame_match.group(3) or 8),
+            )
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            current_label = label_match.group(1)
+            func.add_block(current_label)
+            continue
+        if current_label is None:
+            raise ParseError("instruction before any block label", line_no)
+        func.block(current_label).instrs.append(_parse_instr(line, line_no))
+
+    if func is not None:
+        raise ParseError("missing closing '}'", len(source.splitlines()))
+    return module

@@ -1,0 +1,157 @@
+"""Textual form of the RTL IR.
+
+The format is designed to round-trip through :mod:`repro.ir.parser`, so
+tests and examples can express IR fragments as readable text::
+
+    module dotprod
+
+    global image[250000] align 8
+
+    func dot(r0, r1, r2) {
+    entry:
+        r3 = 0
+        jump loop
+    loop:
+        r4 = load.2s [r0 + 0]
+        r5 = load.2s [r1 + 0]
+        r6 = mul r4, r5
+        r3 = add r3, r6
+        r0 = add r0, 2
+        r1 = add r1, 2
+        r2 = sub r2, 1
+        br gt r2, 0, loop, done
+    done:
+        ret r3
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import IRError
+from repro.ir.rtl import (
+    BinOp,
+    Call,
+    CondJump,
+    Const,
+    Extract,
+    FrameAddr,
+    GlobalAddr,
+    Insert,
+    Instr,
+    Jump,
+    Load,
+    Mov,
+    Operand,
+    Reg,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.function import Function, Module
+
+
+def format_operand(value: Operand) -> str:
+    if isinstance(value, Reg):
+        return f"r{value.index}"
+    if isinstance(value, Const):
+        return str(value.value)
+    raise IRError(f"cannot format operand {value!r}")
+
+
+def _addr(base: Reg, disp: int) -> str:
+    if disp == 0:
+        return f"[{format_operand(base)}]"
+    sign = "+" if disp >= 0 else "-"
+    return f"[{format_operand(base)} {sign} {abs(disp)}]"
+
+
+def format_instr(instr: Instr) -> str:
+    """Render one instruction in the textual format."""
+    if isinstance(instr, Mov):
+        return f"{format_operand(instr.dst)} = {format_operand(instr.src)}"
+    if isinstance(instr, BinOp):
+        return (
+            f"{format_operand(instr.dst)} = {instr.op} "
+            f"{format_operand(instr.a)}, {format_operand(instr.b)}"
+        )
+    if isinstance(instr, UnOp):
+        return (
+            f"{format_operand(instr.dst)} = {instr.op} "
+            f"{format_operand(instr.a)}"
+        )
+    if isinstance(instr, Load):
+        mnemonic = "uload" if instr.unaligned else "load"
+        sign = "s" if instr.signed else "u"
+        return (
+            f"{format_operand(instr.dst)} = {mnemonic}.{instr.width}{sign} "
+            f"{_addr(instr.base, instr.disp)}"
+        )
+    if isinstance(instr, Store):
+        mnemonic = "ustore" if instr.unaligned else "store"
+        return (
+            f"{mnemonic}.{instr.width} {_addr(instr.base, instr.disp)}, "
+            f"{format_operand(instr.src)}"
+        )
+    if isinstance(instr, Extract):
+        sign = "s" if instr.signed else "u"
+        return (
+            f"{format_operand(instr.dst)} = ext.{instr.width}{sign} "
+            f"{format_operand(instr.src)}, pos={format_operand(instr.pos)}"
+        )
+    if isinstance(instr, Insert):
+        return (
+            f"{format_operand(instr.dst)} = ins.{instr.width} "
+            f"{format_operand(instr.acc)}, {format_operand(instr.src)}, "
+            f"pos={format_operand(instr.pos)}"
+        )
+    if isinstance(instr, FrameAddr):
+        return f"{format_operand(instr.dst)} = frameaddr {instr.slot}"
+    if isinstance(instr, GlobalAddr):
+        return f"{format_operand(instr.dst)} = globaladdr {instr.name}"
+    if isinstance(instr, Call):
+        args = ", ".join(format_operand(a) for a in instr.args)
+        call = f"call {instr.func}({args})"
+        if instr.dst is not None:
+            return f"{format_operand(instr.dst)} = {call}"
+        return call
+    if isinstance(instr, Jump):
+        return f"jump {instr.target}"
+    if isinstance(instr, CondJump):
+        return (
+            f"br {instr.rel} {format_operand(instr.a)}, "
+            f"{format_operand(instr.b)}, {instr.iftrue}, {instr.iffalse}"
+        )
+    if isinstance(instr, Ret):
+        if instr.value is None:
+            return "ret"
+        return f"ret {format_operand(instr.value)}"
+    raise IRError(f"cannot format instruction {type(instr).__name__}")
+
+
+def format_function(func: Function) -> str:
+    """Render a whole function."""
+    params = ", ".join(f"r{p.index}" for p in func.params)
+    lines: List[str] = [f"func {func.name}({params}) {{"]
+    for slot, (size, align) in sorted(func.frame_slots.items()):
+        lines.append(f"    frame {slot}[{size}] align {align}")
+    for block in func.blocks:
+        lines.append(f"{block.label}:")
+        for instr in block.instrs:
+            lines.append(f"    {format_instr(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    """Render a whole module."""
+    lines: List[str] = [f"module {module.name}", ""]
+    for var in module.globals.values():
+        lines.append(f"global {var.name}[{var.size}] align {var.align}")
+    if module.globals:
+        lines.append("")
+    for func in module:
+        lines.append(format_function(func))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,91 @@
+"""Structural well-formedness checks for RTL functions.
+
+The verifier is intentionally strict; the pipeline runs it after every pass
+so a transformation bug fails fast instead of surfacing as wrong simulator
+output three stages later.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import IRError
+from repro.ir.function import Function, Module
+from repro.ir.rtl import Call, FrameAddr, GlobalAddr
+
+
+def verify_function(func: Function, module: Module = None) -> None:
+    """Raise :class:`IRError` if ``func`` is malformed.
+
+    Checks:
+      * at least one block; unique labels;
+      * every block non-empty and terminated exactly once (no terminator in
+        a body position);
+      * all jump targets exist;
+      * frame slots referenced by :class:`FrameAddr` exist;
+      * globals/functions referenced exist when a module is supplied;
+      * no block other than the entry is completely unreachable *and*
+        jumped to from nowhere (dead blocks are allowed only if a pass has
+        not yet cleaned them; they must still be well-formed).
+    """
+    if not func.blocks:
+        raise IRError(f"{func.name}: function has no blocks")
+
+    labels = [b.label for b in func.blocks]
+    if len(set(labels)) != len(labels):
+        duplicate = next(x for x in labels if labels.count(x) > 1)
+        raise IRError(f"{func.name}: duplicate block label {duplicate!r}")
+    label_set = set(labels)
+
+    for block in func.blocks:
+        if not block.instrs:
+            raise IRError(f"{func.name}/{block.label}: empty block")
+        for position, instr in enumerate(block.instrs):
+            is_last = position == len(block.instrs) - 1
+            if instr.is_terminator and not is_last:
+                raise IRError(
+                    f"{func.name}/{block.label}: terminator "
+                    f"{instr!r} not at block end"
+                )
+            if is_last and not instr.is_terminator:
+                raise IRError(
+                    f"{func.name}/{block.label}: block does not end "
+                    f"in a terminator (ends with {instr!r})"
+                )
+            if isinstance(instr, FrameAddr):
+                if instr.slot not in func.frame_slots:
+                    raise IRError(
+                        f"{func.name}/{block.label}: unknown frame "
+                        f"slot {instr.slot!r}"
+                    )
+            if module is not None:
+                if isinstance(instr, GlobalAddr):
+                    if instr.name not in module.globals:
+                        raise IRError(
+                            f"{func.name}/{block.label}: unknown "
+                            f"global {instr.name!r}"
+                        )
+                if isinstance(instr, Call):
+                    if instr.func not in module.functions:
+                        raise IRError(
+                            f"{func.name}/{block.label}: call to "
+                            f"unknown function {instr.func!r}"
+                        )
+        for successor in block.successors():
+            if successor not in label_set:
+                raise IRError(
+                    f"{func.name}/{block.label}: jump to unknown "
+                    f"label {successor!r}"
+                )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function of ``module``; raises :class:`IRError`."""
+    problems: List[str] = []
+    for func in module:
+        try:
+            verify_function(func, module)
+        except IRError as exc:
+            problems.append(str(exc))
+    if problems:
+        raise IRError("; ".join(problems))

@@ -1,0 +1,33 @@
+"""Target machine descriptions and the legalization (lowering) pass.
+
+Three machines are modelled, matching the paper's evaluation platforms:
+
+* :class:`repro.machine.alpha.DecAlpha` — 64-bit, little-endian, no narrow
+  (8/16-bit) loads or stores, unaligned quadword load/store plus
+  extract/insert instructions.
+* :class:`repro.machine.m88100.Motorola88100` — 32-bit, big-endian RISC;
+  cheap narrow loads/stores and single-instruction field *extraction*, but
+  no field *insertion* instruction.
+* :class:`repro.machine.m68030.Motorola68030` — 32-bit, big-endian CISC;
+  narrow memory operations are cheap relative to its slow bit-field
+  instructions.
+"""
+
+from repro.machine.machine import MachineDescription, classify_instr
+from repro.machine.alpha import DecAlpha
+from repro.machine.m88100 import Motorola88100
+from repro.machine.m68030 import Motorola68030
+from repro.machine.lowering import lower_function, lower_module
+from repro.machine.registry import MACHINE_NAMES, get_machine
+
+__all__ = [
+    "DecAlpha",
+    "MACHINE_NAMES",
+    "MachineDescription",
+    "Motorola68030",
+    "Motorola88100",
+    "classify_instr",
+    "get_machine",
+    "lower_function",
+    "lower_module",
+]

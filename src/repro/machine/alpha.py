@@ -1,0 +1,58 @@
+"""DEC Alpha (21064 / EV4 generation) machine description.
+
+Relevant traits, per the Alpha Architecture Handbook and the paper's §2.1:
+
+* 64-bit registers; loads and stores move 32- or 64-bit quantities only —
+  there are **no byte or shortword loads/stores** on this generation.
+* Unaligned quadword load/store (``ldq_u``/``stq_u``) fetch/store the
+  aligned quadword *containing* the given address (low three address bits
+  ignored), so byte/shortword access is done with ``ldq_u`` + extract and
+  ``ldq_u`` + insert/mask + ``stq_u`` sequences.
+* Aligned loads/stores trap when the address is not naturally aligned.
+* Dual issue; little-endian.
+
+The latency table is in the spirit of the 21064: single-cycle integer ALU,
+3-cycle primary-cache loads, a slow multiplier, and a very slow (unpipelined)
+divide.  Signed field extraction costs an extra cycle because it is really
+``extqh`` followed by an arithmetic right shift (Figure 1b, lines 15-16).
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import CacheGeometry, MachineDescription
+
+
+class DecAlpha(MachineDescription):
+    """64-bit little-endian Alpha with no narrow memory operations."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="alpha",
+            word_bytes=8,
+            endian="little",
+            issue_width=2,
+            num_registers=32,
+            latencies={
+                "mov": 1,
+                "alu": 1,
+                "mul": 6,
+                "div": 30,
+                "load": 3,
+                "store": 1,
+                "ext": 1,
+                "ext_signed": 2,
+                "ins": 2,
+                "addr": 1,
+                "branch": 1,
+                "jump": 1,
+                "call": 2,
+                "ret": 1,
+            },
+            load_widths=(4, 8),
+            store_widths=(4, 8),
+            has_unaligned_wide=True,
+            has_extract=True,
+            has_insert=True,
+            icache=CacheGeometry(8192, 32, 12),
+            dcache=CacheGeometry(8192, 32, 12),
+        )

@@ -1,0 +1,225 @@
+"""Legalization: rewrite generic RTL into machine-legal RTL.
+
+Three rewrites matter for this paper:
+
+* **Narrow loads on the Alpha** (no 8/16-bit loads): become
+  ``addr = base + disp; q = uload.8 [addr]; dst = ext addr-pos`` — the
+  exact ``ldq_u`` + ``extqh``/``extql`` idiom of Figure 1b.
+* **Narrow stores on the Alpha**: become a read-modify-write
+  ``uload.8`` + ``ins`` + ``ustore.8`` sequence, which is why coalescing
+  stores pays off so handsomely there.
+* **Field insertion on the Motorola 88100** (no insert instruction):
+  expands into mask/shift/or sequences, which is why coalescing stores
+  *loses* there.
+
+Lowering preserves semantics exactly; the simulator runs lowered code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LoweringError
+from repro.ir.function import Function, Module
+from repro.ir.rtl import (
+    BinOp,
+    Const,
+    Extract,
+    Insert,
+    Instr,
+    Load,
+    Mov,
+    Operand,
+    Reg,
+    Store,
+    UnOp,
+)
+from repro.machine.machine import MachineDescription
+
+
+def _field_shift(machine: MachineDescription, pos: int, width: int) -> int:
+    """Bit offset of a byte field within a word, honouring endianness.
+
+    ``pos`` is a byte address; only its low bits select the position within
+    the word.  On little-endian machines byte 0 is the least significant
+    byte; on big-endian machines it is the most significant.
+    """
+    byte = pos % machine.word_bytes
+    if machine.endian == "little":
+        return 8 * byte
+    return 8 * (machine.word_bytes - byte - width)
+
+
+def _materialize_addr(
+    func: Function, out: List[Instr], base: Reg, disp: int
+) -> Reg:
+    """Emit ``addr = base + disp`` unless disp is zero."""
+    if disp == 0:
+        return base
+    addr = func.new_reg("addr")
+    out.append(BinOp("add", addr, base, Const(disp)))
+    return addr
+
+
+def _lower_narrow_load(
+    machine: MachineDescription, func: Function, out: List[Instr], load: Load
+) -> None:
+    if not machine.has_unaligned_wide:
+        raise LoweringError(
+            f"{machine.name}: cannot lower {load.width}-byte load "
+            f"(no unaligned wide load)"
+        )
+    addr = _materialize_addr(func, out, load.base, load.disp)
+    quad = func.new_reg("q")
+    wide = Load(quad, addr, 0, machine.word_bytes, signed=False,
+                unaligned=True)
+    wide.notes.update(load.notes)
+    out.append(wide)
+    out.append(Extract(load.dst, quad, addr, load.width, load.signed))
+
+
+def _lower_narrow_store(
+    machine: MachineDescription, func: Function, out: List[Instr],
+    store: Store,
+) -> None:
+    if not machine.has_unaligned_wide:
+        raise LoweringError(
+            f"{machine.name}: cannot lower {store.width}-byte store "
+            f"(no unaligned wide store)"
+        )
+    addr = _materialize_addr(func, out, store.base, store.disp)
+    quad = func.new_reg("q")
+    merged = func.new_reg("q")
+    wide_load = Load(quad, addr, 0, machine.word_bytes, signed=False,
+                     unaligned=True)
+    wide_load.notes.update(store.notes)
+    out.append(wide_load)
+    _lower_insert_or_emit(
+        machine, func, out,
+        Insert(merged, quad, store.src, addr, store.width),
+    )
+    wide_store = Store(addr, 0, merged, machine.word_bytes, unaligned=True)
+    wide_store.notes.update(store.notes)
+    out.append(wide_store)
+
+
+def _lower_insert_or_emit(
+    machine: MachineDescription, func: Function, out: List[Instr],
+    insert: Insert,
+) -> None:
+    """Emit ``insert`` directly, or expand it when the machine lacks one."""
+    if machine.has_insert:
+        out.append(insert)
+        return
+    if not isinstance(insert.pos, Const):
+        raise LoweringError(
+            f"{machine.name}: cannot expand insert with a dynamic position"
+        )
+    shift = _field_shift(machine, insert.pos.value, insert.width)
+    field_mask = (1 << (8 * insert.width)) - 1
+    hole_mask = ~(field_mask << shift) & machine.word_mask
+
+    # masked_src = (src & field_mask) << shift
+    masked = func.new_reg("fld")
+    out.append(BinOp("and", masked, insert.src, Const(field_mask)))
+    shifted: Operand = masked
+    if shift:
+        shifted = func.new_reg("fld")
+        out.append(BinOp("shl", shifted, masked, Const(shift)))
+    # cleared = acc & ~(field_mask << shift)
+    cleared = func.new_reg("acc")
+    out.append(BinOp("and", cleared, insert.acc, Const(hole_mask)))
+    out.append(BinOp("or", insert.dst, cleared, shifted))
+
+
+def _lower_extract_or_emit(
+    machine: MachineDescription, func: Function, out: List[Instr],
+    extract: Extract,
+) -> None:
+    """Emit ``extract`` directly, or expand it via shifts."""
+    if machine.has_extract:
+        out.append(extract)
+        return
+    if not isinstance(extract.pos, Const):
+        raise LoweringError(
+            f"{machine.name}: cannot expand extract with a dynamic position"
+        )
+    shift = _field_shift(machine, extract.pos.value, extract.width)
+    bits = machine.word_bits
+    field_bits = 8 * extract.width
+    if extract.signed:
+        # Shift the field to the top, then arithmetic-shift it back down.
+        top = func.new_reg("fld")
+        left = bits - shift - field_bits
+        if left:
+            out.append(BinOp("shl", top, extract.src, Const(left)))
+        else:
+            out.append(Mov(top, extract.src))
+        out.append(
+            BinOp("shra", extract.dst, top, Const(bits - field_bits))
+        )
+    else:
+        down = func.new_reg("fld")
+        if shift:
+            out.append(BinOp("shrl", down, extract.src, Const(shift)))
+        else:
+            out.append(Mov(down, extract.src))
+        out.append(
+            BinOp(
+                "and", extract.dst, down, Const((1 << field_bits) - 1)
+            )
+        )
+
+
+def _lower_instr(
+    machine: MachineDescription, func: Function, out: List[Instr],
+    instr: Instr,
+) -> None:
+    if isinstance(instr, Load):
+        if instr.unaligned:
+            if not machine.has_unaligned_wide:
+                raise LoweringError(
+                    f"{machine.name}: unaligned wide load unsupported"
+                )
+            out.append(instr)
+        elif machine.supports_load(instr.width):
+            out.append(instr)
+        else:
+            _lower_narrow_load(machine, func, out, instr)
+        return
+    if isinstance(instr, Store):
+        if instr.unaligned:
+            if not machine.has_unaligned_wide:
+                raise LoweringError(
+                    f"{machine.name}: unaligned wide store unsupported"
+                )
+            out.append(instr)
+        elif machine.supports_store(instr.width):
+            out.append(instr)
+        else:
+            _lower_narrow_store(machine, func, out, instr)
+        return
+    if isinstance(instr, Insert):
+        _lower_insert_or_emit(machine, func, out, instr)
+        return
+    if isinstance(instr, Extract):
+        _lower_extract_or_emit(machine, func, out, instr)
+        return
+    out.append(instr)
+
+
+def lower_function(func: Function, machine: MachineDescription) -> Function:
+    """Legalize ``func`` for ``machine`` in place; returns the function."""
+    for block in func.blocks:
+        lowered: List[Instr] = []
+        for instr in block.instrs:
+            _lower_instr(machine, func, lowered, instr)
+        block.instrs = lowered
+    return func
+
+
+def lower_module(module: Module, machine: MachineDescription) -> Module:
+    """Legalize every function of ``module`` in place."""
+    for func in module:
+        lower_function(func, machine)
+    return module

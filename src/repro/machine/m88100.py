@@ -1,0 +1,60 @@
+"""Motorola 88100 machine description.
+
+Relevant traits, per the MC88100 user's manual and the paper's §3:
+
+* 32-bit big-endian RISC with byte/halfword/word loads and stores.
+* Single-instruction *bit-field extraction* (``ext``/``extu``), which is why
+  coalescing **loads** pays off: one word load plus cheap extracts replaces
+  several narrow loads.
+* **No bit-field insertion** instruction — placing a narrow value into a
+  word without disturbing its neighbours takes a mask/shift/or sequence
+  (``mak`` + ``and`` + ``or``); the lowering pass expands :class:`Insert`
+  accordingly.  The paper observes exactly this: "there are no instructions
+  for inserting bytes and words into a register without affecting the other
+  bytes or words in the register … these sequences outweigh the gains of
+  coalescing stores."
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import CacheGeometry, MachineDescription
+
+
+class Motorola88100(MachineDescription):
+    """32-bit big-endian RISC with cheap extraction, no insertion."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="m88100",
+            word_bytes=4,
+            endian="big",
+            issue_width=1,
+            num_registers=32,
+            latencies={
+                "mov": 1,
+                "alu": 1,
+                "mul": 4,
+                "div": 38,
+                "load": 3,
+                "store": 1,
+                "ext": 1,
+                "ins": 4,  # only used pre-lowering; lowering expands inserts
+                "addr": 1,
+                "branch": 1,
+                "jump": 1,
+                "call": 2,
+                "ret": 1,
+            },
+            load_widths=(1, 2, 4),
+            store_widths=(1, 2, 4),
+            has_unaligned_wide=False,
+            has_extract=True,
+            has_insert=False,
+            icache=CacheGeometry(16384, 32, 10),
+            dcache=CacheGeometry(16384, 32, 10),
+            # Loads and stores go through the external CMMU: the memory
+            # pipeline accepts a new access only every other cycle, which
+            # is exactly why replacing four narrow accesses with one wide
+            # access + cheap extracts pays off on this machine.
+            memory_interval=2,
+        )

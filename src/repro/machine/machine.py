@@ -1,0 +1,180 @@
+"""Machine description base class.
+
+A :class:`MachineDescription` supplies everything target-dependent:
+
+* data layout (word size, endianness),
+* the legality of memory operations (which widths load/store directly,
+  whether unaligned wide accesses exist),
+* the legality of field extract/insert instructions,
+* instruction latencies and the issue width (used by the list scheduler and
+  the block cost model),
+* cache geometry (used by the simulator and the unrolling heuristic).
+
+Latencies are looked up by *instruction class* (see :func:`classify_instr`),
+so cost models stay small tables rather than per-opcode case analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import IRError
+from repro.ir.rtl import (
+    BinOp,
+    Call,
+    CondJump,
+    Extract,
+    FrameAddr,
+    GlobalAddr,
+    Insert,
+    Instr,
+    Jump,
+    Load,
+    Mov,
+    Ret,
+    Store,
+    UnOp,
+)
+
+_MUL_OPS = frozenset({"mul"})
+_DIV_OPS = frozenset({"div", "divu", "rem", "remu"})
+
+
+def classify_instr(instr: Instr) -> str:
+    """Map an instruction to its latency/cost class.
+
+    Classes: ``mov``, ``alu``, ``mul``, ``div``, ``load``, ``store``,
+    ``ext``, ``ins``, ``addr``, ``branch``, ``jump``, ``call``, ``ret``.
+    """
+    if isinstance(instr, Mov):
+        return "mov"
+    if isinstance(instr, BinOp):
+        if instr.op in _MUL_OPS:
+            return "mul"
+        if instr.op in _DIV_OPS:
+            return "div"
+        return "alu"
+    if isinstance(instr, UnOp):
+        return "alu"
+    if isinstance(instr, Load):
+        return "load"
+    if isinstance(instr, Store):
+        return "store"
+    if isinstance(instr, Extract):
+        return "ext"
+    if isinstance(instr, Insert):
+        return "ins"
+    if isinstance(instr, (FrameAddr, GlobalAddr)):
+        return "addr"
+    if isinstance(instr, CondJump):
+        return "branch"
+    if isinstance(instr, Jump):
+        return "jump"
+    if isinstance(instr, Call):
+        return "call"
+    if isinstance(instr, Ret):
+        return "ret"
+    raise IRError(f"cannot classify {type(instr).__name__}")
+
+
+@dataclass
+class CacheGeometry:
+    """Size/line/penalty description of one cache level."""
+
+    size_bytes: int
+    line_bytes: int
+    miss_penalty: int
+
+    @property
+    def lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass
+class MachineDescription:
+    """Everything the compiler and the simulator need to know about a CPU."""
+
+    name: str
+    word_bytes: int
+    endian: str  # 'little' or 'big'
+    issue_width: int
+    num_registers: int
+    latencies: Dict[str, int] = field(default_factory=dict)
+    # Cycles the (single) memory port stays busy per load/store — the
+    # initiation interval of the memory pipeline.  One for the Alpha,
+    # two for the 88100's external CMMU path.
+    memory_interval: int = 1
+    # False models a non-pipelined CISC (the 68030): each instruction
+    # occupies the machine for its full latency and nothing overlaps.
+    pipelined: bool = True
+    # Memory operation legality.
+    load_widths: Tuple[int, ...] = (1, 2, 4)
+    store_widths: Tuple[int, ...] = (1, 2, 4)
+    has_unaligned_wide: bool = False
+    has_extract: bool = True
+    has_insert: bool = True
+    # Caches.
+    icache: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(8192, 32, 10)
+    )
+    dcache: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(8192, 32, 10)
+    )
+    # Encoded size of one RTL in bytes; used for I-cache footprints.
+    instr_bytes: int = 4
+
+    # -- data layout -----------------------------------------------------------
+    @property
+    def word_bits(self) -> int:
+        return self.word_bytes * 8
+
+    @property
+    def word_mask(self) -> int:
+        return (1 << self.word_bits) - 1
+
+    # -- legality ---------------------------------------------------------------
+    def supports_load(self, width: int) -> bool:
+        return width in self.load_widths
+
+    def supports_store(self, width: int) -> bool:
+        return width in self.store_widths
+
+    @property
+    def wide_width(self) -> int:
+        """The widest single memory access, in bytes (== the word size)."""
+        return self.word_bytes
+
+    def coalesce_factor(self, narrow_width: int) -> int:
+        """How many ``narrow_width`` accesses fit in one wide access."""
+        return self.wide_width // narrow_width
+
+    # -- costs -------------------------------------------------------------------
+    def latency(self, instr: Instr) -> int:
+        """Result latency of ``instr`` in cycles.
+
+        Signed extracts may be costed separately (key ``ext_signed``),
+        reflecting machines like the Alpha where signed extraction takes an
+        extra arithmetic shift (Figure 1b lines 15-16 of the paper).
+        """
+        cls = classify_instr(instr)
+        if (
+            cls == "ext"
+            and isinstance(instr, Extract)
+            and instr.signed
+            and "ext_signed" in self.latencies
+        ):
+            return self.latencies["ext_signed"]
+        try:
+            return self.latencies[cls]
+        except KeyError:
+            raise IRError(
+                f"{self.name}: no latency for class {cls!r}"
+            ) from None
+
+    def block_footprint(self, instr_count: int) -> int:
+        """Bytes of I-cache a block of ``instr_count`` instructions needs."""
+        return instr_count * self.instr_bytes
+
+    def __repr__(self) -> str:
+        return f"<MachineDescription {self.name}>"

@@ -1,0 +1,32 @@
+"""Lookup of machine descriptions by name."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.errors import ReproError
+from repro.machine.alpha import DecAlpha
+from repro.machine.m68030 import Motorola68030
+from repro.machine.m88100 import Motorola88100
+from repro.machine.machine import MachineDescription
+
+_MACHINES: Dict[str, Type[MachineDescription]] = {
+    "alpha": DecAlpha,
+    "m88100": Motorola88100,
+    "m68030": Motorola68030,
+}
+
+MACHINE_NAMES = tuple(sorted(_MACHINES))
+
+
+def get_machine(name: str) -> MachineDescription:
+    """Instantiate the machine description called ``name``.
+
+    Accepted names: ``alpha``, ``m88100``, ``m68030``.
+    """
+    try:
+        return _MACHINES[name]()
+    except KeyError:
+        raise ReproError(
+            f"unknown machine {name!r}; known: {', '.join(MACHINE_NAMES)}"
+        ) from None

@@ -1,0 +1,146 @@
+"""Local (block-scoped) common subexpression elimination.
+
+Pure computations with identical operands reuse the earlier result.
+Loads participate too — a second load of the same address with no
+intervening store or call is redundant — but note this never subsumes
+memory access coalescing: the narrow references the coalescer merges are
+at *different* addresses, which CSE cannot touch (§2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.rtl import (
+    BinOp,
+    Call,
+    Const,
+    Extract,
+    FrameAddr,
+    GlobalAddr,
+    Insert,
+    Load,
+    Mov,
+    Operand,
+    Reg,
+    Store,
+    UnOp,
+    COMMUTATIVE_OPS,
+)
+from repro.opt.pass_manager import PassContext
+
+
+def _operand_key(value: Operand) -> Tuple[str, int]:
+    if isinstance(value, Reg):
+        return ("r", value.index)
+    return ("c", value.value)
+
+
+def _expression_key(instr) -> Optional[Tuple]:
+    """Hashable key identifying the computation, or None if not CSE-able."""
+    if isinstance(instr, BinOp):
+        a, b = _operand_key(instr.a), _operand_key(instr.b)
+        if instr.op in COMMUTATIVE_OPS and b < a:
+            a, b = b, a
+        return ("bin", instr.op, a, b)
+    if isinstance(instr, UnOp):
+        return ("un", instr.op, _operand_key(instr.a))
+    if isinstance(instr, Extract):
+        return (
+            "ext",
+            instr.width,
+            instr.signed,
+            _operand_key(instr.src),
+            _operand_key(instr.pos),
+        )
+    if isinstance(instr, Insert):
+        return (
+            "ins",
+            instr.width,
+            _operand_key(instr.acc),
+            _operand_key(instr.src),
+            _operand_key(instr.pos),
+        )
+    if isinstance(instr, FrameAddr):
+        return ("frame", instr.slot)
+    if isinstance(instr, GlobalAddr):
+        return ("global", instr.name)
+    if isinstance(instr, Load):
+        return (
+            "load",
+            instr.width,
+            instr.signed,
+            instr.unaligned,
+            _operand_key(instr.base),
+            instr.disp,
+        )
+    return None
+
+
+def local_cse(func: Function, ctx: PassContext) -> bool:
+    changed = False
+    for block in func.blocks:
+        available: Dict[Tuple, Reg] = {}
+        new_instrs = []
+        for instr in block.instrs:
+            key = _expression_key(instr)
+            # Never rewrite a self-referencing computation like
+            # ``i = add i, 1`` into a copy: it costs nothing and hides
+            # the induction variable from the loop analyses.
+            if key is not None and any(
+                _key_reads(key, {r.index}) for r in instr.defs()
+            ):
+                new_instrs.append(instr)
+                defined = {r.index for r in instr.defs()}
+                stale = [
+                    k
+                    for k, result in available.items()
+                    if result.index in defined or _key_reads(k, defined)
+                ]
+                for k in stale:
+                    available.pop(k, None)
+                continue
+            if key is not None and key in available:
+                # Reuse the earlier result.
+                replacement = Mov(instr.defs()[0], available[key])
+                new_instrs.append(replacement)
+                changed = True
+                instr = replacement
+                key = None  # a Mov adds nothing to the table
+            else:
+                new_instrs.append(instr)
+
+            # Invalidate entries whose inputs or results were redefined.
+            defined = {r.index for r in instr.defs()}
+            if defined:
+                stale = [
+                    k
+                    for k, result in available.items()
+                    if result.index in defined or _key_reads(k, defined)
+                ]
+                for k in stale:
+                    available.pop(k, None)
+            if isinstance(instr, (Store, Call)):
+                for k in [k for k in available if k[0] == "load"]:
+                    available.pop(k)
+
+            # Record the new expression unless it reads its own result
+            # (e.g. ``r4 = add r4, 1``), whose inputs are already stale.
+            if key is not None and not _key_reads(key, defined):
+                available[key] = instr.defs()[0]
+        block.instrs = new_instrs
+    return changed
+
+
+def _key_reads(key: Tuple, reg_indices: set) -> bool:
+    """Whether any register operand baked into ``key`` was redefined."""
+    for part in key:
+        if (
+            isinstance(part, tuple)
+            and len(part) == 2
+            and part[0] == "r"
+            and part[1] in reg_indices
+        ):
+            return True
+    return False

@@ -1,0 +1,60 @@
+"""Global (cross-block) constant propagation.
+
+Block-local propagation misses the common pattern where a counter is
+zeroed in the entry block and consumed in a loop preheader; this pass uses
+reaching definitions to close that gap: a use is replaced when *every*
+definition reaching it moves the same constant.
+
+Deliberately simple (no conditional constant propagation); combined with
+the rest of the cleanup bundle run to a fixpoint it retires the dead
+original counters left behind by linear function test replacement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.reaching import reaching_definitions
+from repro.ir.function import Function
+from repro.ir.rtl import Const, Mov, Reg
+from repro.opt.pass_manager import PassContext
+
+
+def global_const_prop(func: Function, ctx: PassContext) -> bool:
+    reaching = reaching_definitions(func)
+    changed = False
+    for block in func.blocks:
+        if block.label not in reaching.reach_in:
+            continue  # unreachable
+        for index, instr in enumerate(block.instrs):
+            mapping: Dict[Reg, Const] = {}
+            for reg in instr.uses():
+                value = _constant_at(
+                    reaching, block.label, index, reg.index
+                )
+                if value is not None:
+                    mapping[reg] = Const(value)
+            if mapping:
+                before = repr(instr)
+                instr.substitute_uses(mapping)
+                if repr(instr) != before:
+                    changed = True
+    return changed
+
+
+def _constant_at(
+    reaching, label: str, index: int, reg_index: int
+) -> Optional[int]:
+    sites = reaching.reaching_at(label, index, reg_index)
+    if not sites:
+        return None  # undefined (a parameter): leave alone
+    value: Optional[int] = None
+    for site_label, site_index in sites:
+        instr = reaching.func.block(site_label).instrs[site_index]
+        if not isinstance(instr, Mov) or not isinstance(instr.src, Const):
+            return None
+        if value is None:
+            value = instr.src.value
+        elif value != instr.src.value:
+            return None
+    return value

@@ -1,0 +1,112 @@
+"""Pass management.
+
+A pass is a callable ``pass_fn(func, ctx) -> bool`` returning whether it
+changed anything.  The manager runs passes in order, optionally to a
+fixpoint, verifying the IR after each pass so a transformation bug is
+caught at its source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.ir.function import Function, Module
+from repro.ir.verifier import verify_function
+from repro.machine.machine import MachineDescription
+
+PassFn = Callable[[Function, "PassContext"], bool]
+
+
+@dataclass
+class PassContext:
+    """Target information every pass may need."""
+
+    machine: MachineDescription
+    verify: bool = True
+
+    @property
+    def word_bytes(self) -> int:
+        return self.machine.word_bytes
+
+    @property
+    def word_mask(self) -> int:
+        return self.machine.word_mask
+
+
+class PassManager:
+    """Runs a pipeline of function passes over a module."""
+
+    def __init__(self, ctx: PassContext):
+        self.ctx = ctx
+        self.passes: List[Tuple[str, PassFn]] = []
+
+    def add(self, name: str, pass_fn: PassFn) -> "PassManager":
+        self.passes.append((name, pass_fn))
+        return self
+
+    def run(self, module: Module) -> None:
+        for func in module:
+            self.run_on_function(func)
+
+    def run_on_function(self, func: Function) -> None:
+        for name, pass_fn in self.passes:
+            pass_fn(func, self.ctx)
+            if self.ctx.verify:
+                verify_function(func)
+
+
+def run_to_fixpoint(
+    func: Function,
+    ctx: PassContext,
+    passes: List[PassFn],
+    max_rounds: int = 20,
+) -> bool:
+    """Iterate ``passes`` until none of them changes the function."""
+    ever_changed = False
+    for _ in range(max_rounds):
+        changed = False
+        for pass_fn in passes:
+            if pass_fn(func, ctx):
+                changed = True
+                if ctx.verify:
+                    verify_function(func)
+        ever_changed = ever_changed or changed
+        if not changed:
+            return ever_changed
+    return ever_changed
+
+
+def cleanup(func: Function, ctx: PassContext) -> bool:
+    """The standard scalar cleanup bundle, run to a fixpoint."""
+    from repro.opt.constant_fold import constant_fold
+    from repro.opt.copy_prop import copy_propagate
+    from repro.opt.cse import local_cse
+    from repro.opt.dce import dead_code_elimination
+    from repro.opt.global_const import global_const_prop
+    from repro.opt.peephole import peephole
+    from repro.opt.simplify_cfg import simplify_cfg
+
+    return run_to_fixpoint(
+        func,
+        ctx,
+        [
+            simplify_cfg,
+            constant_fold,
+            copy_propagate,
+            global_const_prop,
+            local_cse,
+            peephole,
+            dead_code_elimination,
+        ],
+    )
+
+
+# Names usable with Pipeline configuration.
+STANDARD_PASSES = (
+    "simplify_cfg",
+    "constant_fold",
+    "copy_propagate",
+    "local_cse",
+    "dead_code_elimination",
+)

@@ -1,0 +1,25 @@
+"""Instruction scheduling.
+
+The paper's profitability analysis (Figure 3) *schedules* the original and
+the coalesced loop and keeps the coalesced version only if its schedule is
+shorter.  This package provides that scheduler: a per-basic-block
+dependence DAG (:mod:`repro.sched.dag`) and a latency-driven list scheduler
+(:mod:`repro.sched.list_scheduler`).  The block cost model used by the
+simulator (:mod:`repro.sched.block_cost`) is the same machinery, so the
+profitability estimate and the measured cycles agree by construction —
+mirroring how vpo's scheduler both orders the code and defines the cost.
+"""
+
+from repro.sched.dag import DependenceDAG, build_dag
+from repro.sched.list_scheduler import ScheduleResult, list_schedule
+from repro.sched.block_cost import block_cycles, function_cycles, schedule_function
+
+__all__ = [
+    "DependenceDAG",
+    "ScheduleResult",
+    "block_cycles",
+    "build_dag",
+    "function_cycles",
+    "list_schedule",
+    "schedule_function",
+]

@@ -1,0 +1,150 @@
+"""Dependence DAG construction over one basic block.
+
+Edges encode every constraint a scheduler must respect:
+
+* register RAW / WAR / WAW dependences;
+* memory ordering: two memory operations conflict unless we can prove they
+  are disjoint.  Disjointness is proved exactly the way the paper's hazard
+  analysis reasons (``FindBaseAndDisplacementOfAddress``): both accesses
+  use the *same base register value* (same register, no redefinition in
+  between — tracked here with per-register version numbers) and their
+  ``[disp, disp+width)`` ranges do not overlap.  Loads never conflict with
+  loads.
+* calls are barriers for memory and for register state across the call.
+
+The terminator is excluded; it always issues last.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import BasicBlock
+from repro.ir.rtl import Call, Instr, Load, Store
+
+
+class DependenceDAG:
+    """Nodes are body-instruction indices; edges carry latency weights."""
+
+    def __init__(self, instrs: List[Instr]):
+        self.instrs = instrs
+        self.succs: List[Dict[int, int]] = [dict() for _ in instrs]
+        self.preds: List[Dict[int, int]] = [dict() for _ in instrs]
+
+    def add_edge(self, src: int, dst: int, latency: int) -> None:
+        if src == dst:
+            return
+        current = self.succs[src].get(dst, -1)
+        if latency > current:
+            self.succs[src][dst] = latency
+            self.preds[dst][src] = latency
+
+    def roots(self) -> List[int]:
+        return [i for i in range(len(self.instrs)) if not self.preds[i]]
+
+    def critical_heights(self, latency_of) -> List[int]:
+        """Longest path (in cycles) from each node to any leaf."""
+        heights = [0] * len(self.instrs)
+        for index in range(len(self.instrs) - 1, -1, -1):
+            own = latency_of(self.instrs[index])
+            best = own
+            for succ, edge_latency in self.succs[index].items():
+                best = max(best, edge_latency + heights[succ])
+            heights[index] = best
+        return heights
+
+
+def _mem_key(
+    instr: Instr, versions: Dict[int, int]
+) -> Optional[Tuple[int, int, int, int, bool]]:
+    """(base reg, base version, disp, width, unaligned) for a memory op."""
+    if isinstance(instr, Load):
+        base = instr.base
+        return (
+            base.index,
+            versions.get(base.index, 0),
+            instr.disp,
+            instr.width,
+            instr.unaligned,
+        )
+    if isinstance(instr, Store):
+        base = instr.base
+        return (
+            base.index,
+            versions.get(base.index, 0),
+            instr.disp,
+            instr.width,
+            instr.unaligned,
+        )
+    return None
+
+
+def _may_conflict(
+    a: Optional[Tuple[int, int, int, int, bool]],
+    b: Optional[Tuple[int, int, int, int, bool]],
+) -> bool:
+    """Whether two memory operations might touch overlapping bytes."""
+    if a is None or b is None:
+        return True  # a call: conservatively conflicts with everything
+    base_a, ver_a, disp_a, width_a, unaligned_a = a
+    base_b, ver_b, disp_b, width_b, unaligned_b = b
+    if (base_a, ver_a) != (base_b, ver_b):
+        return True  # different base values: cannot disambiguate
+    if unaligned_a or unaligned_b:
+        # An unaligned access touches the whole containing word; widen both
+        # ranges to word granularity to stay conservative.
+        return True
+    return not (disp_a + width_a <= disp_b or disp_b + width_b <= disp_a)
+
+
+def build_dag(block: BasicBlock, latency_of) -> DependenceDAG:
+    """Build the dependence DAG for ``block``'s body.
+
+    ``latency_of(instr)`` supplies edge weights: a RAW edge from a producer
+    carries the producer's latency; WAR/WAW/memory-order edges carry 1
+    (issue order only).
+    """
+    body = block.body
+    dag = DependenceDAG(body)
+
+    last_def: Dict[int, int] = {}
+    uses_since_def: Dict[int, List[int]] = {}
+    versions: Dict[int, int] = {}
+    mem_ops: List[Tuple[int, Optional[Tuple[int, int, int, int, bool]], bool]] = []
+
+    for index, instr in enumerate(body):
+        # Register dependences.
+        for reg in instr.uses():
+            if reg.index in last_def:
+                producer = last_def[reg.index]
+                dag.add_edge(producer, index, latency_of(body[producer]))
+            uses_since_def.setdefault(reg.index, []).append(index)
+        for reg in instr.defs():
+            if reg.index in last_def:
+                dag.add_edge(last_def[reg.index], index, 1)  # WAW
+            for user in uses_since_def.get(reg.index, []):
+                dag.add_edge(user, index, 1)  # WAR
+            last_def[reg.index] = index
+            uses_since_def[reg.index] = []
+            versions[reg.index] = versions.get(reg.index, 0) + 1
+
+        # Memory / call ordering.
+        is_call = isinstance(instr, Call)
+        is_store = isinstance(instr, Store) or is_call
+        is_mem = instr.is_memory or is_call
+        if is_mem:
+            key = None if is_call else _mem_key(instr, versions)
+            for prior_index, prior_key, prior_is_store in mem_ops:
+                if not (is_store or prior_is_store):
+                    continue  # load-load pairs always commute
+                if _may_conflict(prior_key, key):
+                    # A load following a conflicting store waits for the
+                    # store to complete; other orderings are issue-order
+                    # constraints only.
+                    if prior_is_store and not is_store:
+                        weight = latency_of(body[prior_index])
+                    else:
+                        weight = 1
+                    dag.add_edge(prior_index, index, weight)
+            mem_ops.append((index, key, is_store))
+    return dag

@@ -1,0 +1,133 @@
+"""Latency-driven list scheduling.
+
+The scheduler issues up to ``machine.issue_width`` instructions per cycle,
+with at most one memory operation per cycle (a single memory port — true of
+all three evaluation machines).  Ready instructions are prioritized by
+critical-path height, the classic heuristic.
+
+Two entry points:
+
+* :func:`list_schedule` — compute a schedule and its length in cycles
+  without touching the block (used by the paper's profitability analysis,
+  Figure 3, ``Schedule(LOOP)`` / ``Schedule(LCOPY)``);
+* :func:`apply_schedule` — reorder the block body to the schedule order
+  (used by the optimization pipeline's scheduling pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.ir.function import BasicBlock
+from repro.ir.rtl import Instr
+from repro.machine.machine import MachineDescription, classify_instr
+from repro.sched.dag import build_dag
+
+_MEMORY_CLASSES = frozenset({"load", "store"})
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one block body."""
+
+    order: List[int]        # body indices in issue order
+    issue_cycle: List[int]  # cycle each body instruction issues at
+    cycles: int             # total cycles including the terminator
+
+
+def list_schedule(
+    block: BasicBlock, machine: MachineDescription
+) -> ScheduleResult:
+    """Schedule ``block``'s body for ``machine``; the block is not modified."""
+    body = block.body
+    latency_of = machine.latency
+
+    if not machine.pipelined:
+        # Non-pipelined machine: nothing overlaps, order is irrelevant to
+        # cost; every instruction occupies the machine for its latency.
+        issue_cycles: List[int] = []
+        cycle = 0
+        for instr in body:
+            issue_cycles.append(cycle)
+            cycle += latency_of(instr)
+        if block.instrs and block.instrs[-1].is_terminator:
+            cycle += latency_of(block.instrs[-1])
+        return ScheduleResult(
+            list(range(len(body))), issue_cycles, max(cycle, 1)
+        )
+    dag = build_dag(block, latency_of)
+    heights = dag.critical_heights(latency_of)
+
+    count = len(body)
+    remaining_preds = [len(dag.preds[i]) for i in range(count)]
+    earliest = [0] * count
+    issue_cycle = [-1] * count
+    ready = [i for i in range(count) if remaining_preds[i] == 0]
+    order: List[int] = []
+
+    cycle = 0
+    scheduled = 0
+    port_free = 0
+    while scheduled < count:
+        issued_this_cycle = 0
+        memory_used = False
+        # Highest critical path first; stable tie-break on program order.
+        ready.sort(key=lambda i: (-heights[i], i))
+        index = 0
+        while index < len(ready) and issued_this_cycle < machine.issue_width:
+            node = ready[index]
+            if earliest[node] > cycle:
+                index += 1
+                continue
+            is_memory = classify_instr(body[node]) in _MEMORY_CLASSES
+            if is_memory and (memory_used or port_free > cycle):
+                index += 1
+                continue
+            # Issue it.
+            ready.pop(index)
+            issue_cycle[node] = cycle
+            order.append(node)
+            scheduled += 1
+            issued_this_cycle += 1
+            if is_memory:
+                memory_used = True
+                port_free = cycle + machine.memory_interval
+            for succ, edge_latency in dag.succs[node].items():
+                earliest[succ] = max(
+                    earliest[succ], cycle + edge_latency
+                )
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    ready.append(succ)
+        cycle += 1
+
+    # Completion: last issue cycle is (cycle - 1); results the terminator
+    # consumes must be available when it issues.
+    finish = cycle - 1 if count else 0
+    term_earliest = finish + 1 if count else 0
+    if block.instrs and block.instrs[-1].is_terminator:
+        term = block.instrs[-1]
+        term_uses = {r.index for r in term.uses()}
+        for node in range(count):
+            if any(r.index in term_uses for r in body[node].defs()):
+                term_earliest = max(
+                    term_earliest,
+                    issue_cycle[node] + latency_of(body[node]),
+                )
+        total = term_earliest + latency_of(term)
+    else:
+        total = term_earliest
+    return ScheduleResult(order, issue_cycle, max(total, 1))
+
+
+def apply_schedule(block: BasicBlock, machine: MachineDescription) -> int:
+    """Reorder ``block``'s body into scheduled order; returns the cycles."""
+    result = list_schedule(block, machine)
+    body = block.body
+    new_body = [body[i] for i in result.order]
+    if block.instrs and block.instrs[-1].is_terminator:
+        block.instrs = new_body + [block.instrs[-1]]
+    else:
+        block.instrs = new_body
+    return result.cycles

@@ -1,0 +1,25 @@
+"""Execution substrate: memory, caches, RTL interpreter, cost model.
+
+The paper measured wall-clock time on real DEC Alpha, Motorola 88100 and
+Motorola 68030 machines.  We have none of those, so this package provides
+the substitute: RTL programs run in a byte-accurate interpreter (or the
+faster RTL-to-Python translator) that counts block executions and memory
+traffic, and a trace-driven cost model converts those counts into cycles
+using each machine's latencies, issue width and caches.
+"""
+
+from repro.sim.memory import SimMemory
+from repro.sim.cache import DirectMappedCache
+from repro.sim.interp import Interpreter, RunStats
+from repro.sim.costs import CycleReport, cycle_report
+from repro.sim.runner import Simulator
+
+__all__ = [
+    "CycleReport",
+    "DirectMappedCache",
+    "Interpreter",
+    "RunStats",
+    "SimMemory",
+    "Simulator",
+    "cycle_report",
+]

@@ -1,0 +1,62 @@
+"""Direct-mapped cache model.
+
+Kept intentionally simple — the paper's effect is dominated by instruction
+counts and latencies, and the caches only need to capture two second-order
+phenomena the paper discusses:
+
+* spatial locality: four narrow loads to one line cost one miss whether or
+  not they are coalesced, so the coalescing win must come from the saved
+  *instructions*, not from invented miss savings;
+* the unrolling heuristic: a loop body that outgrows the I-cache starts
+  missing every iteration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.machine.machine import CacheGeometry
+
+
+class DirectMappedCache:
+    """Tag array of a direct-mapped cache; tracks hits and misses."""
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        self.line_bytes = geometry.line_bytes
+        self.lines = geometry.lines
+        self.tags: List[Optional[int]] = [None] * self.lines
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Touch the line containing ``addr``; returns True on a hit."""
+        line_no = addr // self.line_bytes
+        index = line_no % self.lines
+        if self.tags[index] == line_no:
+            self.hits += 1
+            return True
+        self.tags[index] = line_no
+        self.misses += 1
+        return False
+
+    def access_range(self, addr: int, length: int) -> None:
+        """Touch every line overlapped by ``[addr, addr+length)``."""
+        line = addr // self.line_bytes
+        last = (addr + max(length, 1) - 1) // self.line_bytes
+        while line <= last:
+            self.access(line * self.line_bytes)
+            line += 1
+
+    def flush(self) -> None:
+        self.tags = [None] * self.lines
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def __repr__(self) -> str:
+        return (
+            f"<DirectMappedCache {self.geometry.size_bytes}B "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,111 @@
+"""Byte-addressable simulated memory with alignment trapping.
+
+The memory deliberately mirrors the hardware properties the paper's safety
+analysis exists for:
+
+* **aligned accesses trap when misaligned** (like the DEC Alpha), so a
+  coalescer that skips an alignment check produces a hard failure in the
+  test suite instead of silently wrong bytes;
+* **unaligned wide accesses** (``ldq_u``-style) clear the low address bits
+  and never trap;
+* endianness is a property of the memory view, because field positions
+  inside a coalesced word depend on it.
+
+Address 0 .. ``GUARD_BYTES``-1 is an unmapped guard page so null-ish
+addresses fault rather than read zeroes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AlignmentTrap, SimulationError
+
+GUARD_BYTES = 4096
+
+
+class SimMemory:
+    """A flat little slab of RAM plus a bump allocator."""
+
+    def __init__(self, size: int = 1 << 22, endian: str = "little"):
+        if endian not in ("little", "big"):
+            raise SimulationError(f"bad endianness {endian!r}")
+        self.size = size
+        self.endian = endian
+        self.data = bytearray(size)
+        self._brk = GUARD_BYTES
+        self.loads = 0
+        self.stores = 0
+
+    # -- allocation --------------------------------------------------------
+    def alloc(self, size: int, align: int = 8, offset: int = 0) -> int:
+        """Carve out ``size`` bytes aligned to ``align`` then nudged by
+        ``offset`` bytes.
+
+        ``offset`` exists so tests can place an array at a *deliberately*
+        misaligned address (e.g. ``align=8, offset=2``) to drive the
+        coalescer's run-time alignment checks down the fallback path.
+        """
+        if size <= 0:
+            raise SimulationError(f"allocation of {size} bytes")
+        if align <= 0 or align & (align - 1):
+            raise SimulationError(f"alignment {align} is not a power of two")
+        base = (self._brk + align - 1) & ~(align - 1)
+        base += offset
+        end = base + size
+        if end > self.size:
+            raise SimulationError("simulated memory exhausted")
+        self._brk = end
+        return base
+
+    @property
+    def brk(self) -> int:
+        return self._brk
+
+    def reset_brk(self, brk: int) -> None:
+        """Roll the allocator back (used to pop stack frames)."""
+        if brk < GUARD_BYTES or brk > self.size:
+            raise SimulationError(f"bad brk {brk}")
+        self._brk = brk
+
+    # -- access ------------------------------------------------------------
+    def _check(self, addr: int, width: int) -> None:
+        if addr < GUARD_BYTES:
+            raise SimulationError(
+                f"access to unmapped guard page at {addr:#x}"
+            )
+        if addr + width > self.size:
+            raise SimulationError(f"access past end of memory at {addr:#x}")
+
+    def load(
+        self, addr: int, width: int, signed: bool, unaligned: bool = False
+    ) -> int:
+        """Read ``width`` bytes; returns a sign/zero-extended Python int."""
+        if unaligned:
+            addr &= ~(width - 1)
+        elif addr % width:
+            raise AlignmentTrap(addr, width)
+        self._check(addr, width)
+        self.loads += 1
+        raw = self.data[addr:addr + width]
+        return int.from_bytes(raw, self.endian, signed=signed)
+
+    def store(
+        self, addr: int, width: int, value: int, unaligned: bool = False
+    ) -> None:
+        """Write the low ``width`` bytes of ``value``."""
+        if unaligned:
+            addr &= ~(width - 1)
+        elif addr % width:
+            raise AlignmentTrap(addr, width)
+        self._check(addr, width)
+        self.stores += 1
+        value &= (1 << (8 * width)) - 1
+        self.data[addr:addr + width] = value.to_bytes(width, self.endian)
+
+    # -- bulk helpers (no alignment rules, no access counting) -----------------
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        self._check(addr, max(len(payload), 1))
+        self.data[addr:addr + len(payload)] = payload
+
+    def read_bytes(self, addr: int, count: int) -> bytes:
+        self._check(addr, max(count, 1))
+        return bytes(self.data[addr:addr + count])

@@ -1,0 +1,517 @@
+"""RTL-to-Python translation: the simulator's fast engine.
+
+The reference interpreter dispatches instruction objects; this engine
+instead *compiles* each RTL function into a Python function (registers
+become Python locals, blocks become branches of a dispatch loop) and lets
+CPython execute it.  Semantics are identical by construction of the
+generated expressions — and by the differential tests that run both
+engines over the same programs.
+
+Dynamic counts: the generated code only increments a per-block execution
+counter (plus cache probes when cache simulation is on); instruction,
+load and store totals are recovered afterwards from the static per-block
+mix, which is exact because block composition is static.
+
+Signedness without branches: for a word ``v`` stored unsigned,
+``(v ^ SIGN) - SIGN`` is its two's-complement value — used for signed
+compares, arithmetic shifts and extensions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AlignmentTrap, SimulationError
+from repro.ir.function import Function, Module
+from repro.ir.rtl import (
+    BinOp,
+    Call,
+    CondJump,
+    Const,
+    Extract,
+    FrameAddr,
+    GlobalAddr,
+    Insert,
+    Jump,
+    Load,
+    Mov,
+    Operand,
+    Reg,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.machine.machine import MachineDescription
+from repro.sim.cache import DirectMappedCache
+from repro.sim.interp import CODE_BASE, RunStats, field_parameters
+from repro.sim.memory import GUARD_BYTES, SimMemory
+
+_SIGNED_RELS = {"lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+_UNSIGNED_RELS = {
+    "eq": "==", "ne": "!=", "ltu": "<", "leu": "<=", "gtu": ">",
+    "geu": ">=",
+}
+
+
+class _FunctionTranslator:
+    """Emits the Python source for one RTL function."""
+
+    def __init__(self, func: Function, engine: "TranslatedEngine"):
+        self.func = func
+        self.engine = engine
+        self.machine = engine.machine
+        self.lines: List[str] = []
+        self.bits = self.machine.word_bits
+        self.mask = self.machine.word_mask
+        self.sign = 1 << (self.bits - 1)
+
+    # -- small emit helpers ---------------------------------------------------
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append("    " * depth + text)
+
+    def _reg(self, reg: Reg) -> str:
+        return f"r{reg.index}"
+
+    def _value(self, op: Operand) -> str:
+        if isinstance(op, Reg):
+            return self._reg(op)
+        return str(op.value & self.mask)
+
+    def _signed(self, expression: str) -> str:
+        return f"(({expression} ^ {self.sign}) - {self.sign})"
+
+    # -- instruction translation -------------------------------------------------
+    def _binop(self, instr: BinOp) -> str:
+        dst = self._reg(instr.dst)
+        a = self._value(instr.a)
+        b = self._value(instr.b)
+        op = instr.op
+        mask = self.mask
+        if op in ("add", "sub", "mul"):
+            sign = {"add": "+", "sub": "-", "mul": "*"}[op]
+            return f"{dst} = ({a} {sign} {b}) & {mask}"
+        if op in ("and", "or", "xor"):
+            sign = {"and": "&", "or": "|", "xor": "^"}[op]
+            return f"{dst} = {a} {sign} {b}"
+        if op == "shl":
+            return f"{dst} = ({a} << ({b} & {self.bits - 1})) & {mask}"
+        if op == "shrl":
+            return f"{dst} = {a} >> ({b} & {self.bits - 1})"
+        if op == "shra":
+            return (
+                f"{dst} = ({self._signed(a)} >> ({b} & {self.bits - 1}))"
+                f" & {mask}"
+            )
+        if op in ("div", "rem", "divu", "remu"):
+            return f"{dst} = _{op}({a}, {b})"
+        raise SimulationError(f"cannot translate op {op!r}")
+
+    def _unop(self, instr: UnOp) -> str:
+        dst = self._reg(instr.dst)
+        a = self._value(instr.a)
+        if instr.op == "neg":
+            return f"{dst} = (-{a}) & {self.mask}"
+        if instr.op == "not":
+            return f"{dst} = (~{a}) & {self.mask}"
+        width = int(instr.op[4:])
+        low_mask = (1 << (8 * width)) - 1
+        if instr.op[0] == "z":
+            return f"{dst} = {a} & {low_mask}"
+        field_sign = 1 << (8 * width - 1)
+        return (
+            f"{dst} = ((({a} & {low_mask}) ^ {field_sign}) - {field_sign})"
+            f" & {self.mask}"
+        )
+
+    def _address(self, base: Reg, disp: int) -> str:
+        if disp:
+            return f"(({self._reg(base)} + {disp}) & {self.mask})"
+        return self._reg(base)
+
+    def _memory_guard(self, depth: int, addr_var: str, width: int,
+                      unaligned: bool) -> None:
+        if unaligned:
+            self.emit(depth, f"{addr_var} &= {~(width - 1) & self.mask}")
+        else:
+            self.emit(
+                depth,
+                f"if {addr_var} % {width}: _trap({addr_var}, {width})",
+            )
+        self.emit(
+            depth,
+            f"if {addr_var} < {GUARD_BYTES} or "
+            f"{addr_var} + {width} > _MEMSIZE: _fault({addr_var})",
+        )
+        if self.engine.dcache is not None:
+            self.emit(depth, f"_dc({addr_var} & {~(width - 1) & self.mask})")
+
+    def _load(self, depth: int, instr: Load) -> None:
+        addr_var = "_a"
+        self.emit(depth, f"{addr_var} = {self._address(instr.base, instr.disp)}")
+        self._memory_guard(depth, addr_var, instr.width, instr.unaligned)
+        endian = repr(self.machine.endian)
+        raw = (
+            f"int.from_bytes(_mem[{addr_var}:{addr_var} + {instr.width}], "
+            f"{endian})"
+        )
+        dst = self._reg(instr.dst)
+        if instr.signed and instr.width < self.machine.word_bytes:
+            field_sign = 1 << (8 * instr.width - 1)
+            self.emit(
+                depth,
+                f"{dst} = (({raw} ^ {field_sign}) - {field_sign}) & "
+                f"{self.mask}",
+            )
+        elif instr.signed and instr.width == self.machine.word_bytes:
+            self.emit(depth, f"{dst} = {raw}")
+        else:
+            self.emit(depth, f"{dst} = {raw}")
+
+    def _store(self, depth: int, instr: Store) -> None:
+        addr_var = "_a"
+        self.emit(depth, f"{addr_var} = {self._address(instr.base, instr.disp)}")
+        self._memory_guard(depth, addr_var, instr.width, instr.unaligned)
+        endian = repr(self.machine.endian)
+        width_mask = (1 << (8 * instr.width)) - 1
+        self.emit(
+            depth,
+            f"_mem[{addr_var}:{addr_var} + {instr.width}] = "
+            f"(({self._value(instr.src)}) & {width_mask})"
+            f".to_bytes({instr.width}, {endian})",
+        )
+
+    def _extract(self, depth: int, instr: Extract) -> None:
+        dst = self._reg(instr.dst)
+        src = self._reg(instr.src)
+        field_mask = (1 << (8 * instr.width)) - 1
+        if isinstance(instr.pos, Const):
+            shift, _ = field_parameters(
+                self.machine, instr.pos.value, instr.width
+            )
+            expression = f"({src} >> {shift}) & {field_mask}"
+        else:
+            self.emit(
+                depth,
+                f"_sh = _fieldshift({self._value(instr.pos)}, "
+                f"{instr.width})",
+            )
+            expression = f"({src} >> _sh) & {field_mask}"
+        if instr.signed:
+            field_sign = 1 << (8 * instr.width - 1)
+            self.emit(
+                depth,
+                f"{dst} = ((({expression}) ^ {field_sign}) - {field_sign})"
+                f" & {self.mask}",
+            )
+        else:
+            self.emit(depth, f"{dst} = {expression}")
+
+    def _insert(self, depth: int, instr: Insert) -> None:
+        dst = self._reg(instr.dst)
+        acc = self._value(instr.acc)
+        src = self._value(instr.src)
+        field_mask = (1 << (8 * instr.width)) - 1
+        if isinstance(instr.pos, Const):
+            shift, _ = field_parameters(
+                self.machine, instr.pos.value, instr.width
+            )
+            hole = ~(field_mask << shift) & self.mask
+            self.emit(
+                depth,
+                f"{dst} = ({acc} & {hole}) | "
+                f"(({src} & {field_mask}) << {shift})",
+            )
+        else:
+            self.emit(
+                depth,
+                f"_sh = _fieldshift({self._value(instr.pos)}, "
+                f"{instr.width})",
+            )
+            self.emit(
+                depth,
+                f"{dst} = ({acc} & ~({field_mask} << _sh) & {self.mask})"
+                f" | (({src} & {field_mask}) << _sh)",
+            )
+
+    def _condition(self, instr: CondJump) -> str:
+        a = self._value(instr.a)
+        b = self._value(instr.b)
+        if instr.rel in _UNSIGNED_RELS:
+            return f"{a} {_UNSIGNED_RELS[instr.rel]} {b}"
+        return (
+            f"{self._signed(a)} {_SIGNED_RELS[instr.rel]} "
+            f"{self._signed(b)}"
+        )
+
+    # -- function assembly ------------------------------------------------------
+    def translate(self) -> str:
+        func = self.func
+        params = ", ".join(f"r{p.index}" for p in func.params)
+        self.emit(0, f"def _fn({params}):")
+        used = self._used_registers()
+        param_indices = {p.index for p in func.params}
+        init = [f"r{i} = 0" for i in sorted(used - param_indices)]
+        for chunk_start in range(0, len(init), 8):
+            self.emit(1, "; ".join(init[chunk_start:chunk_start + 8]))
+        self.emit(1, "_a = 0")
+        self.emit(1, "_mark = _MEM.brk")
+        slot_vars: Dict[str, str] = {}
+        for number, (slot, (size, align)) in enumerate(
+            func.frame_slots.items()
+        ):
+            var = f"_slot{number}"
+            slot_vars[slot] = var
+            self.emit(1, f"{var} = _MEM.alloc({size}, {align})")
+        self.emit(1, "try:")
+        self.emit(2, "_bb = 0")
+        self.emit(2, "while True:")
+
+        index_of = {b.label: i for i, b in enumerate(func.blocks)}
+        for number, block in enumerate(func.blocks):
+            keyword = "if" if number == 0 else "elif"
+            self.emit(3, f"{keyword} _bb == {number}:")
+            counter = self.engine.register_block(func.name, block)
+            self.emit(4, f"_bc[{counter}] += 1")
+            if self.engine.icache is not None:
+                for line in self.engine.block_lines(func.name, block.label):
+                    self.emit(4, f"_ic({line})")
+            self._emit_step_guard(4, len(block.instrs))
+            for instr in block.instrs:
+                self._emit_instr(4, instr, index_of, slot_vars)
+        self.emit(3, "else:")
+        self.emit(4, "raise _SimulationError('bad block index')")
+        self.emit(1, "finally:")
+        self.emit(2, "_MEM.reset_brk(_mark)")
+        return "\n".join(self.lines)
+
+    def _emit_step_guard(self, depth: int, count: int) -> None:
+        self.emit(depth, f"_steps[0] += {count}")
+        self.emit(
+            depth,
+            "if _steps[0] > _MAXSTEPS: "
+            "raise _SimulationError('exceeded step limit')",
+        )
+
+    def _emit_instr(
+        self,
+        depth: int,
+        instr,
+        index_of: Dict[str, int],
+        slot_vars: Dict[str, str],
+    ) -> None:
+        if isinstance(instr, Mov):
+            self.emit(
+                depth, f"{self._reg(instr.dst)} = {self._value(instr.src)}"
+            )
+        elif isinstance(instr, BinOp):
+            self.emit(depth, self._binop(instr))
+        elif isinstance(instr, UnOp):
+            self.emit(depth, self._unop(instr))
+        elif isinstance(instr, Load):
+            self._load(depth, instr)
+        elif isinstance(instr, Store):
+            self._store(depth, instr)
+        elif isinstance(instr, Extract):
+            self._extract(depth, instr)
+        elif isinstance(instr, Insert):
+            self._insert(depth, instr)
+        elif isinstance(instr, FrameAddr):
+            self.emit(
+                depth,
+                f"{self._reg(instr.dst)} = {slot_vars[instr.slot]}",
+            )
+        elif isinstance(instr, GlobalAddr):
+            addr = self.engine.global_addrs[instr.name]
+            self.emit(depth, f"{self._reg(instr.dst)} = {addr}")
+        elif isinstance(instr, Call):
+            args = ", ".join(self._value(a) for a in instr.args)
+            call = f"_F[{instr.func!r}]({args})"
+            if instr.dst is None:
+                self.emit(depth, call)
+            else:
+                self.emit(depth, f"_rv = {call}")
+                self.emit(
+                    depth,
+                    f"{self._reg(instr.dst)} = 0 if _rv is None else "
+                    f"_rv & {self.mask}",
+                )
+        elif isinstance(instr, Jump):
+            self.emit(depth, f"_bb = {index_of[instr.target]}")
+            self.emit(depth, "continue")
+        elif isinstance(instr, CondJump):
+            self.emit(
+                depth,
+                f"_bb = {index_of[instr.iftrue]} if "
+                f"({self._condition(instr)}) else "
+                f"{index_of[instr.iffalse]}",
+            )
+            self.emit(depth, "continue")
+        elif isinstance(instr, Ret):
+            if instr.value is None:
+                self.emit(depth, "return None")
+            else:
+                self.emit(depth, f"return {self._value(instr.value)}")
+        else:
+            raise SimulationError(
+                f"cannot translate {type(instr).__name__}"
+            )
+
+    def _used_registers(self) -> set:
+        used = set()
+        for instr in self.func.iter_instrs():
+            for reg in instr.uses() + instr.defs():
+                used.add(reg.index)
+        return used
+
+
+class TranslatedEngine:
+    """Drop-in alternative to :class:`repro.sim.interp.Interpreter`."""
+
+    def __init__(
+        self,
+        module: Module,
+        machine: MachineDescription,
+        memory: Optional[SimMemory] = None,
+        simulate_caches: bool = True,
+        max_steps: int = 200_000_000,
+    ):
+        self.module = module
+        self.machine = machine
+        self.memory = memory or SimMemory(endian=machine.endian)
+        if self.memory.endian != machine.endian:
+            raise SimulationError(
+                "memory endianness does not match the machine"
+            )
+        self.max_steps = max_steps
+        self.icache: Optional[DirectMappedCache] = None
+        self.dcache: Optional[DirectMappedCache] = None
+        if simulate_caches:
+            self.icache = DirectMappedCache(machine.icache)
+            self.dcache = DirectMappedCache(machine.dcache)
+
+        self.global_addrs: Dict[str, int] = {}
+        for var in module.globals.values():
+            addr = self.memory.alloc(var.size, var.align)
+            if var.init:
+                self.memory.write_bytes(addr, var.init)
+            self.global_addrs[var.name] = addr
+
+        self._block_keys: List[Tuple[str, str]] = []
+        self._block_mix: List[Tuple[int, int, int]] = []
+        self._block_counts: List[int] = []
+        self._lines = self._layout_code()
+        self._steps = [0]
+        self._functions: Dict[str, object] = {}
+        self._compile_all()
+
+    # -- layout & registration ----------------------------------------------
+    def _layout_code(self) -> Dict[Tuple[str, str], List[int]]:
+        lines: Dict[Tuple[str, str], List[int]] = {}
+        addr = CODE_BASE
+        line_bytes = self.machine.icache.line_bytes
+        for func in self.module:
+            for block in func.blocks:
+                size = self.machine.block_footprint(len(block.instrs))
+                first = addr // line_bytes
+                last = (addr + max(size, 1) - 1) // line_bytes
+                lines[(func.name, block.label)] = [
+                    n * line_bytes for n in range(first, last + 1)
+                ]
+                addr += size
+        return lines
+
+    def block_lines(self, func_name: str, label: str) -> List[int]:
+        return self._lines[(func_name, label)]
+
+    def register_block(self, func_name: str, block) -> int:
+        """Assign a counter slot to a block; returns its index."""
+        loads = sum(1 for i in block.instrs if isinstance(i, Load))
+        stores = sum(1 for i in block.instrs if isinstance(i, Store))
+        self._block_keys.append((func_name, block.label))
+        self._block_mix.append((len(block.instrs), loads, stores))
+        self._block_counts.append(0)
+        return len(self._block_counts) - 1
+
+    # -- compilation -------------------------------------------------------------
+    def _compile_all(self) -> None:
+        bits = self.machine.word_bits
+        mask = self.machine.word_mask
+
+        def _sdiv_base(a: int, b: int, want_rem: bool) -> int:
+            sign = 1 << (bits - 1)
+            sa = (a ^ sign) - sign
+            sb = (b ^ sign) - sign
+            if sb == 0:
+                raise SimulationError("integer division by zero")
+            quotient = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                quotient = -quotient
+            if want_rem:
+                return (sa - quotient * sb) & mask
+            return quotient & mask
+
+        def _udiv_base(a: int, b: int, want_rem: bool) -> int:
+            if b == 0:
+                raise SimulationError("integer division by zero")
+            return (a % b if want_rem else a // b) & mask
+
+        def _trap(addr: int, width: int):
+            raise AlignmentTrap(addr, width)
+
+        def _fault(addr: int):
+            raise SimulationError(f"bad address {addr:#x}")
+
+        def _fieldshift(pos: int, width: int) -> int:
+            shift, _ = field_parameters(self.machine, pos, width)
+            return shift
+
+        environment = {
+            "_MEM": self.memory,
+            "_mem": self.memory.data,
+            "_MEMSIZE": self.memory.size,
+            "_MAXSTEPS": self.max_steps,
+            "_steps": self._steps,
+            "_bc": self._block_counts,
+            "_F": self._functions,
+            "_div": lambda a, b: _sdiv_base(a, b, False),
+            "_rem": lambda a, b: _sdiv_base(a, b, True),
+            "_divu": lambda a, b: _udiv_base(a, b, False),
+            "_remu": lambda a, b: _udiv_base(a, b, True),
+            "_trap": _trap,
+            "_fault": _fault,
+            "_fieldshift": _fieldshift,
+            "_SimulationError": SimulationError,
+            "_ic": self.icache.access if self.icache else None,
+            "_dc": self.dcache.access if self.dcache else None,
+        }
+        for func in self.module:
+            source = _FunctionTranslator(func, self).translate()
+            namespace = dict(environment)
+            code = compile(source, f"<rtl:{func.name}>", "exec")
+            exec(code, namespace)  # noqa: S102 - our own generated code
+            self._functions[func.name] = namespace["_fn"]
+
+    # -- public API ---------------------------------------------------------------
+    @property
+    def stats(self) -> RunStats:
+        stats = RunStats()
+        for key, count, mix in zip(
+            self._block_keys, self._block_counts, self._block_mix
+        ):
+            if count:
+                stats.block_counts[key] = count
+                stats.instr_count += count * mix[0]
+                stats.load_count += count * mix[1]
+                stats.store_count += count * mix[2]
+        return stats
+
+    def call(self, name: str, *args: int):
+        if name not in self._functions:
+            raise SimulationError(f"no function {name!r}")
+        func = self.module.function(name)
+        if len(args) != len(func.params):
+            raise SimulationError(
+                f"{name} expects {len(func.params)} args, got {len(args)}"
+            )
+        mask = self.machine.word_mask
+        return self._functions[name](*[a & mask for a in args])

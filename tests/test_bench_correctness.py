@@ -1,0 +1,55 @@
+"""Every benchmark × machine × column produces bit-correct output.
+
+This is the differential suite backing the tables: the simulated output is
+checked against the pure-Python references for every configuration,
+including the forced-coalescing columns on machines where the paper found
+the transformation unprofitable.
+"""
+
+import pytest
+
+from repro.bench import BENCHMARKS, run_benchmark
+from repro.bench.harness import COLUMNS
+from repro.bench.programs import TABLE_ORDER
+
+SMALL = {"width": 24, "height": 16}
+
+
+@pytest.mark.parametrize("column", COLUMNS)
+@pytest.mark.parametrize("name", TABLE_ORDER + ["dotproduct"])
+@pytest.mark.parametrize("machine", ["alpha", "m88100", "m68030"])
+def test_benchmark_output_correct(name, machine, column):
+    result = run_benchmark(name, machine, column, **SMALL)
+    assert result.output_ok, (
+        f"{name} on {machine}/{column} produced wrong output"
+    )
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("name", TABLE_ORDER)
+def test_coalescing_applied_on_alpha(name):
+    result = run_benchmark(name, "alpha", "coalesce-all", **SMALL)
+    assert result.coalesced_loops >= 1, (
+        f"{name}: nothing coalesced on the Alpha"
+    )
+
+
+def test_table1_loc_counts_reasonable():
+    from repro.bench.tables import table1_rows
+
+    rows = table1_rows()
+    assert len(rows) == 7
+    for row in rows:
+        assert row["lines_of_code"] >= 5
+
+
+def test_benchmark_lookup_errors():
+    from repro.bench import get_benchmark
+
+    with pytest.raises(KeyError):
+        get_benchmark("whetstone")
+
+
+def test_all_benchmarks_have_entries():
+    for name, program in BENCHMARKS.items():
+        assert program.entry in program.source

@@ -1,0 +1,73 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "kernel.c"
+    path.write_text(
+        """
+        int dot(short *a, short *b, int n) {
+            int i, s;
+            s = 0;
+            for (i = 0; i < n; i++)
+                s += a[i] * b[i];
+            return s;
+        }
+        """
+    )
+    return str(path)
+
+
+def test_machines_command(capsys):
+    assert main(["machines"]) == 0
+    out = capsys.readouterr().out
+    assert "alpha" in out and "m88100" in out and "m68030" in out
+    assert "no narrow loads/stores" in out
+    assert "non-pipelined" in out
+
+
+def test_compile_command(kernel_file, capsys):
+    assert main([
+        "compile", kernel_file, "--machine", "alpha",
+        "--config", "coalesce-all",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "func dot(" in out
+    assert "load.8u" in out  # the coalesced wide load
+
+
+def test_run_command(kernel_file, capsys):
+    assert main([
+        "run", kernel_file, "--entry", "dot",
+        "--array", "a:2:1,2,3,4",
+        "--array", "b:2:10,20,30,40",
+        "--args", "a", "b", "4",
+        "--machine", "alpha", "--config", "coalesce-all",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "result: 300" in out
+    assert "cycles:" in out
+
+
+def test_run_with_regalloc_and_force(kernel_file, capsys):
+    assert main([
+        "run", kernel_file, "--entry", "dot",
+        "--array", "a:2:1,2,3,4,5,6,7,8",
+        "--array", "b:2:1,1,1,1,1,1,1,1",
+        "--args", "a", "b", "8",
+        "--machine", "m68030", "--config", "coalesce-all",
+        "--force-coalesce", "--unroll-factor", "2", "--regalloc",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "result: 36" in out
+
+
+def test_tables_single_machine(capsys):
+    assert main(["tables", "--machine", "alpha", "--size", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "Simulated cycles on alpha" in out
+    assert "convolution" in out

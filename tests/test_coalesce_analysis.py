@@ -1,0 +1,300 @@
+"""Unit tests for the coalescer's partitioning and hazard analysis."""
+
+import pytest
+
+from repro.analysis import find_loops
+from repro.coalesce import (
+    check_hazards,
+    classify_partitions,
+    find_runs,
+)
+from repro.ir import parse_module
+from repro.machine import get_machine
+
+
+def loop_block_of(text):
+    func = next(iter(parse_module(text)))
+    loop = [l for l in find_loops(func) if len(l.blocks) == 1][0]
+    return func, loop, func.block(loop.header)
+
+
+UNROLLED_LOADS = """
+func f(r0, r1, r2) {
+entry:
+    jump loop
+loop:
+    r3 = load.2s [r0]
+    r4 = load.2s [r0 + 2]
+    r5 = load.2s [r0 + 4]
+    r6 = load.2s [r0 + 6]
+    r7 = add r3, r4
+    r8 = add r5, r6
+    r2 = add r7, r8
+    r0 = add r0, 8
+    br ltu r0, r1, loop, out
+out:
+    ret r2
+}
+"""
+
+UNROLLED_STORES = """
+func f(r0, r1, r2) {
+entry:
+    jump loop
+loop:
+    store.2 [r0], r2
+    store.2 [r0 + 2], r2
+    store.2 [r0 + 4], r2
+    store.2 [r0 + 6], r2
+    r0 = add r0, 8
+    br ltu r0, r1, loop, out
+out:
+    ret 0
+}
+"""
+
+INPLACE_UPDATE = """
+func f(r0, r1) {
+entry:
+    jump loop
+loop:
+    r2 = load.1u [r0]
+    r3 = add r2, 1
+    store.1 [r0], r3
+    r4 = load.1u [r0 + 1]
+    r5 = add r4, 1
+    store.1 [r0 + 1], r5
+    r6 = load.1u [r0 + 2]
+    r7 = add r6, 1
+    store.1 [r0 + 2], r7
+    r8 = load.1u [r0 + 3]
+    r9 = add r8, 1
+    store.1 [r0 + 3], r9
+    r0 = add r0, 4
+    br ltu r0, r1, loop, out
+out:
+    ret 0
+}
+"""
+
+
+class TestPartitioning:
+    def test_pointer_iv_partition(self):
+        func, loop, block = loop_block_of(UNROLLED_LOADS)
+        partitions = classify_partitions(func, loop, block)
+        assert list(partitions) == [0]
+        partition = partitions[0]
+        assert partition.kind == "iv"
+        assert partition.step == 8
+        assert len(partition.loads) == 4
+        assert partition.stores == []
+
+    def test_offsets_and_span(self):
+        func, loop, block = loop_block_of(UNROLLED_LOADS)
+        partition = classify_partitions(func, loop, block)[0]
+        assert sorted(r.disp for r in partition.refs) == [0, 2, 4, 6]
+        assert partition.min_disp == 0
+        assert partition.max_end == 8
+
+    def test_fixed_partition_for_invariant_base(self):
+        func, loop, block = loop_block_of(
+            "func f(r0, r1, r2) {\nentry:\n    jump loop\n"
+            "loop:\n    r3 = load.4s [r2]\n    r0 = add r0, 4\n"
+            "    br ltu r0, r1, loop, out\nout:\n    ret r3\n}"
+        )
+        partitions = classify_partitions(func, loop, block)
+        assert partitions[2].kind == "fixed"
+
+    def test_other_partition_for_chaotic_base(self):
+        func, loop, block = loop_block_of(
+            "func f(r0, r1) {\nentry:\n    jump loop\n"
+            "loop:\n    r2 = load.8u [r0]\n    r0 = mul r0, 2\n"
+            "    br ltu r0, r1, loop, out\nout:\n    ret r2\n}"
+        )
+        partitions = classify_partitions(func, loop, block)
+        assert partitions[0].kind == "other"
+
+
+class TestRunFinding:
+    def test_full_tile_found(self):
+        func, loop, block = loop_block_of(UNROLLED_LOADS)
+        partitions = classify_partitions(func, loop, block)
+        runs = find_runs(partitions, 8)
+        assert len(runs) == 1
+        run = runs[0]
+        assert not run.is_store
+        assert run.start_disp == 0
+        assert len(run.refs) == 4
+
+    def test_store_runs_require_flag(self):
+        func, loop, block = loop_block_of(UNROLLED_STORES)
+        partitions = classify_partitions(func, loop, block)
+        assert find_runs(partitions, 8, include_stores=False) == []
+        runs = find_runs(partitions, 8, include_stores=True)
+        assert len(runs) == 1 and runs[0].is_store
+
+    def test_gap_prevents_run(self):
+        func, loop, block = loop_block_of(
+            "func f(r0, r1, r2) {\nentry:\n    jump loop\n"
+            "loop:\n    r3 = load.2s [r0]\n    r4 = load.2s [r0 + 2]\n"
+            "    r5 = load.2s [r0 + 6]\n    r2 = add r3, r4\n"
+            "    r2 = add r2, r5\n    r0 = add r0, 8\n"
+            "    br ltu r0, r1, loop, out\nout:\n    ret r2\n}"
+        )
+        partitions = classify_partitions(func, loop, block)
+        assert find_runs(partitions, 8) == []
+
+    def test_partial_tile_not_coalesced(self):
+        # Two shorts only fill half a quadword.
+        func, loop, block = loop_block_of(
+            "func f(r0, r1, r2) {\nentry:\n    jump loop\n"
+            "loop:\n    r3 = load.2s [r0]\n    r4 = load.2s [r0 + 2]\n"
+            "    r2 = add r3, r4\n    r0 = add r0, 4\n"
+            "    br ltu r0, r1, loop, out\nout:\n    ret r2\n}"
+        )
+        partitions = classify_partitions(func, loop, block)
+        assert find_runs(partitions, 8) == []
+        # ...but they do fill a 32-bit word.
+        assert len(find_runs(partitions, 4)) == 1
+
+    def test_fixed_partition_not_coalesced(self):
+        func, loop, block = loop_block_of(
+            "func f(r0, r1, r2) {\nentry:\n    jump loop\n"
+            "loop:\n    r3 = load.2s [r2]\n    r4 = load.2s [r2 + 2]\n"
+            "    r5 = load.2s [r2 + 4]\n    r6 = load.2s [r2 + 6]\n"
+            "    r0 = add r0, 8\n    br ltu r0, r1, loop, out\n"
+            "out:\n    ret r3\n}"
+        )
+        partitions = classify_partitions(func, loop, block)
+        assert find_runs(partitions, 8) == []
+
+    def test_duplicate_displacements_share_tile(self):
+        func, loop, block = loop_block_of(
+            "func f(r0, r1, r2) {\nentry:\n    jump loop\n"
+            "loop:\n    r3 = load.2s [r0]\n    r4 = load.2s [r0 + 2]\n"
+            "    r5 = load.2s [r0 + 4]\n    r6 = load.2s [r0 + 6]\n"
+            "    r7 = load.2s [r0 + 2]\n"
+            "    r2 = add r3, r7\n    r0 = add r0, 8\n"
+            "    br ltu r0, r1, loop, out\nout:\n    ret r2\n}"
+        )
+        partitions = classify_partitions(func, loop, block)
+        runs = find_runs(partitions, 8)
+        assert len(runs) == 1
+        assert len(runs[0].refs) == 5
+
+    def test_mixed_widths_tile_separately(self):
+        func, loop, block = loop_block_of(
+            "func f(r0, r1, r2) {\nentry:\n    jump loop\n"
+            "loop:\n"
+            "    r3 = load.4s [r0]\n    r4 = load.4s [r0 + 4]\n"
+            "    r5 = load.2s [r0 + 8]\n    r6 = load.2s [r0 + 10]\n"
+            "    r7 = load.2s [r0 + 12]\n    r8 = load.2s [r0 + 14]\n"
+            "    r0 = add r0, 16\n    br ltu r0, r1, loop, out\n"
+            "out:\n    ret r2\n}"
+        )
+        partitions = classify_partitions(func, loop, block)
+        runs = find_runs(partitions, 8)
+        widths = sorted(run.width for run in runs)
+        assert widths == [2, 4]
+
+
+class TestHazards:
+    def _single_run(self, text, include_stores=True):
+        func, loop, block = loop_block_of(text)
+        partitions = classify_partitions(func, loop, block)
+        runs = find_runs(partitions, 8, include_stores=include_stores)
+        return block, runs, partitions
+
+    def test_clean_load_run_safe(self):
+        block, runs, partitions = self._single_run(UNROLLED_LOADS)
+        result = check_hazards(block, runs[0], partitions)
+        assert result.safe and not result.alias_pairs
+
+    def test_clean_store_run_safe(self):
+        block, runs, partitions = self._single_run(UNROLLED_STORES)
+        result = check_hazards(block, runs[0], partitions)
+        assert result.safe
+
+    def test_inplace_update_both_runs_safe(self):
+        # Disjoint per-element load/store interleaving (Figure 4 allows it:
+        # the crossed references touch different bytes).  Four byte refs
+        # tile a 32-bit word.
+        func, loop, block = loop_block_of(INPLACE_UPDATE)
+        partitions = classify_partitions(func, loop, block)
+        runs = find_runs(partitions, 4)
+        assert len(runs) == 2
+        for run in runs:
+            result = check_hazards(block, run, partitions)
+            assert result.safe, result.reason
+
+    def test_same_location_store_between_loads_rejected(self):
+        block, runs, partitions = self._single_run(
+            "func f(r0, r1, r2) {\nentry:\n    jump loop\n"
+            "loop:\n    r3 = load.2s [r0]\n"
+            "    store.2 [r0 + 2], r2\n"
+            "    r4 = load.2s [r0 + 2]\n"
+            "    r5 = load.2s [r0 + 4]\n    r6 = load.2s [r0 + 6]\n"
+            "    r2 = add r3, r4\n    r0 = add r0, 8\n"
+            "    br ltu r0, r1, loop, out\nout:\n    ret r2\n}",
+            include_stores=False,
+        )
+        result = check_hazards(block, runs[0], partitions)
+        assert not result.safe
+        assert "store" in result.reason
+
+    def test_load_of_delayed_store_rejected(self):
+        # A load reads bytes an *earlier* member store wrote; delaying the
+        # store to the run's end would break the read.
+        block, runs, partitions = self._single_run(
+            "func f(r0, r1, r2) {\nentry:\n    jump loop\n"
+            "loop:\n    store.2 [r0], r2\n"
+            "    r3 = load.2s [r0]\n"
+            "    store.2 [r0 + 2], r3\n"
+            "    store.2 [r0 + 4], r2\n    store.2 [r0 + 6], r2\n"
+            "    r0 = add r0, 8\n    br ltu r0, r1, loop, out\n"
+            "out:\n    ret 0\n}"
+        )
+        store_runs = [r for r in runs if r.is_store]
+        result = check_hazards(block, store_runs[0], partitions)
+        assert not result.safe
+
+    def test_cross_partition_store_needs_runtime_check(self):
+        block, runs, partitions = self._single_run(
+            "func f(r0, r1, r2, r3) {\nentry:\n    jump loop\n"
+            "loop:\n    r4 = load.2s [r0]\n    r5 = load.2s [r0 + 2]\n"
+            "    store.2 [r2], r4\n"
+            "    r6 = load.2s [r0 + 4]\n    r7 = load.2s [r0 + 6]\n"
+            "    r2 = add r2, 2\n    r0 = add r0, 8\n"
+            "    br ltu r0, r1, loop, out\nout:\n    ret 0\n}",
+            include_stores=False,
+        )
+        load_run = [r for r in runs if not r.is_store][0]
+        result = check_hazards(block, load_run, partitions)
+        assert result.safe
+        assert result.alias_pairs == {(0, 2)}
+
+    def test_call_in_region_rejected(self):
+        block, runs, partitions = self._single_run(
+            "func f(r0, r1, r2) {\nentry:\n    jump loop\n"
+            "loop:\n    r3 = load.2s [r0]\n    r4 = load.2s [r0 + 2]\n"
+            "    call f(r0, r1, r2)\n"
+            "    r5 = load.2s [r0 + 4]\n    r6 = load.2s [r0 + 6]\n"
+            "    r0 = add r0, 8\n    br ltu r0, r1, loop, out\n"
+            "out:\n    ret 0\n}"
+        )
+        result = check_hazards(block, runs[0], partitions)
+        assert not result.safe
+        assert "call" in result.reason
+
+    def test_base_modified_in_region_rejected(self):
+        block, runs, partitions = self._single_run(
+            "func f(r0, r1, r2) {\nentry:\n    jump loop\n"
+            "loop:\n    r3 = load.2s [r0]\n    r4 = load.2s [r0 + 2]\n"
+            "    r0 = add r0, 0\n"
+            "    r5 = load.2s [r0 + 4]\n    r6 = load.2s [r0 + 6]\n"
+            "    r0 = add r0, 8\n    br ltu r0, r1, loop, out\n"
+            "out:\n    ret 0\n}"
+        )
+        if runs:  # the extra increment also changes the partition step
+            result = check_hazards(block, runs[0], partitions)
+            assert not result.safe

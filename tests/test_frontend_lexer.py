@@ -1,0 +1,80 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_identifiers_and_keywords(self):
+        assert kinds("int foo") == [("keyword", "int"), ("ident", "foo")]
+
+    def test_keyword_prefix_is_identifier(self):
+        assert kinds("integer")[0] == ("ident", "integer")
+
+    def test_numbers_decimal_and_hex(self):
+        assert kinds("42 0x2A") == [("number", "42"), ("number", "0x2A")]
+
+    def test_number_suffixes_consumed(self):
+        assert kinds("42UL")[0] == ("number", "42UL")
+
+    def test_char_constant_becomes_number(self):
+        assert kinds("'A'") == [("number", "65")]
+
+    def test_char_escapes(self):
+        assert kinds(r"'\n' '\0' '\\'") == [
+            ("number", "10"), ("number", "0"), ("number", "92"),
+        ]
+
+    @pytest.mark.parametrize(
+        "op",
+        ["<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+         "+=", "-=", "++", "--", "->"[0], "?", ":"],
+    )
+    def test_operators_lex_whole(self, op):
+        tokens = kinds(f"a {op} b")
+        assert tokens[1] == ("op", op)
+
+    def test_maximal_munch(self):
+        # "+++" must lex as "++", "+".
+        tokens = kinds("a+++b")
+        assert [t for _, t in tokens] == ["a", "++", "+", "b"]
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert kinds("a // comment\n b") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("a /* never ends")
+
+    def test_unterminated_char(self):
+        with pytest.raises(ParseError):
+            tokenize("'a")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+    def test_bad_hex(self):
+        with pytest.raises(ParseError):
+            tokenize("0x")

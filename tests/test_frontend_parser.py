@@ -1,0 +1,169 @@
+"""Parser tests: AST shapes, precedence, declarations, errors."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast, parse
+
+
+def parse_expr(text):
+    program = parse(f"int f() {{ return {text}; }}")
+    return program.functions()[0].body.stmts[0].value
+
+
+class TestDeclarations:
+    def test_function_with_params(self):
+        program = parse("int f(short *a, unsigned char b) { return 0; }")
+        func = program.functions()[0]
+        assert func.name == "f"
+        assert isinstance(func.params[0].ctype, ast.PointerType)
+        assert func.params[1].ctype == ast.IntType("char", signed=False)
+
+    def test_array_parameter_decays(self):
+        program = parse("int f(short a[]) { return 0; }")
+        assert isinstance(program.functions()[0].params[0].ctype,
+                          ast.PointerType)
+
+    def test_void_parameter_list(self):
+        assert parse("int f(void) { return 0; }").functions()[0].params == []
+
+    def test_global_array(self):
+        program = parse("unsigned char image[64];")
+        decl = program.globals()[0]
+        assert isinstance(decl.ctype, ast.ArrayType)
+        assert decl.ctype.count == 64
+
+    def test_local_multi_declarator(self):
+        program = parse("void f() { int a, b, c; }")
+        stmt = program.functions()[0].body.stmts[0]
+        assert isinstance(stmt, ast.DeclGroup)
+        assert [d.name for d in stmt.decls] == ["a", "b", "c"]
+
+    def test_local_with_initializer(self):
+        program = parse("void f() { int a = 5; }")
+        decl = program.functions()[0].body.stmts[0]
+        assert isinstance(decl.init, ast.IntLit)
+
+    def test_unsigned_alone_means_unsigned_int(self):
+        program = parse("unsigned f() { return 0; }")
+        assert program.functions()[0].ret_type == ast.IntType(
+            "int", signed=False
+        )
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_shift_vs_relational(self):
+        expr = parse_expr("1 << 2 < 3")
+        assert expr.op == "<"
+        assert expr.left.op == "<<"
+
+    def test_logical_or_lowest(self):
+        expr = parse_expr("1 && 2 || 3")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_assignment_right_associative(self):
+        program = parse("void f() { int a, b; a = b = 1; }")
+        stmt = program.functions()[0].body.stmts[1]
+        assert isinstance(stmt.expr, ast.Assign)
+        assert isinstance(stmt.expr.value, ast.Assign)
+
+    def test_unary_minus_vs_mul(self):
+        expr = parse_expr("-1 * 2")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.Unary)
+
+    def test_conditional_expression(self):
+        expr = parse_expr("1 ? 2 : 3")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_cast_parses(self):
+        expr = parse_expr("(unsigned char) 300")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target_type == ast.IntType("char", signed=False)
+
+    def test_parenthesized_expression_is_not_cast(self):
+        expr = parse_expr("(1) + 2")
+        assert expr.op == "+"
+
+    def test_sizeof(self):
+        expr = parse_expr("sizeof(short)")
+        assert isinstance(expr, ast.SizeOf)
+
+    def test_postfix_index_and_incdec(self):
+        program = parse("void f(int *p) { p[1]++; }")
+        expr = program.functions()[0].body.stmts[0].expr
+        assert isinstance(expr, ast.IncDec)
+        assert not expr.is_prefix
+        assert isinstance(expr.operand, ast.Index)
+
+    def test_compound_assignment(self):
+        program = parse("void f() { int a; a += 2; }")
+        expr = program.functions()[0].body.stmts[1].expr
+        assert expr.op == "+"
+
+
+class TestStatements:
+    def test_if_else(self):
+        program = parse("void f(int x) { if (x) x = 1; else x = 2; }")
+        stmt = program.functions()[0].body.stmts[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        program = parse(
+            "void f(int x) { if (x) if (x) x = 1; else x = 2; }"
+        )
+        outer = program.functions()[0].body.stmts[0]
+        assert outer.other is None
+        assert outer.then.other is not None
+
+    def test_while_and_do_while(self):
+        program = parse(
+            "void f(int x) { while (x) x--; do x++; while (x < 3); }"
+        )
+        stmts = program.functions()[0].body.stmts
+        assert isinstance(stmts[0], ast.While)
+        assert isinstance(stmts[1], ast.DoWhile)
+
+    def test_for_with_decl_init(self):
+        program = parse("void f() { for (int i = 0; i < 4; i++) ; }")
+        stmt = program.functions()[0].body.stmts[0]
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+
+    def test_for_all_parts_optional(self):
+        program = parse("void f() { for (;;) break; }")
+        stmt = program.functions()[0].body.stmts[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue_return(self):
+        program = parse(
+            "int f() { while (1) { break; continue; } return 3; }"
+        )
+        body = program.functions()[0].body.stmts
+        assert isinstance(body[-1], ast.Return)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int f( { return 0; }",
+            "int f() { return 0 }",
+            "int f() { int 5x; }",
+            "int f() { if x) return 0; }",
+            "int f() { return (1 + ; }",
+            "int [3] x;",
+            "void signed f() { }",
+            "int f() { int a[n]; }",
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(ParseError):
+            parse(source)

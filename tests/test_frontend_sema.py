@@ -1,0 +1,121 @@
+"""Semantic analysis tests: typing, storage decisions, diagnostics."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import analyze, ast, parse
+
+
+def analyzed(source):
+    program = parse(source)
+    analyze(program)
+    return program
+
+
+class TestStorage:
+    def test_scalar_local_lives_in_register(self):
+        program = analyzed("void f() { int a; a = 1; }")
+        decl = program.functions()[0].body.stmts[0]
+        assert decl.symbol.storage == "reg"
+
+    def test_array_local_lives_in_frame(self):
+        program = analyzed("void f() { int a[4]; a[0] = 1; }")
+        decl = program.functions()[0].body.stmts[0]
+        assert decl.symbol.storage == "frame"
+
+    def test_address_taken_scalar_demoted_to_frame(self):
+        program = analyzed("void f() { int a; int *p; p = &a; }")
+        decl = program.functions()[0].body.stmts[0]
+        assert decl.symbol.storage == "frame"
+        assert decl.symbol.address_taken
+
+    def test_global_storage(self):
+        program = analyzed("int g; void f() { g = 1; }")
+        assert program.globals()[0].symbol.storage == "global"
+
+
+class TestTyping:
+    def test_pointer_arith_keeps_pointer_type(self):
+        program = analyzed("int f(short *p) { return *(p + 3); }")
+        ret = program.functions()[0].body.stmts[0]
+        assert ret.value.ctype == ast.IntType("short")
+
+    def test_array_subscript_element_type(self):
+        program = analyzed(
+            "unsigned char g[8]; int f() { return g[1]; }"
+        )
+        ret = program.functions()[1 - 1].body.stmts[0]
+        assert ret.value.ctype == ast.IntType("char", signed=False)
+
+    def test_comparison_yields_int(self):
+        program = analyzed("int f(int a) { return a < 3; }")
+        assert program.functions()[0].body.stmts[0].value.ctype == (
+            ast.IntType("int")
+        )
+
+    def test_unsigned_comparison_flagged(self):
+        program = analyzed(
+            "int f(unsigned int a, unsigned int b) { return a < b; }"
+        )
+        compare = program.functions()[0].body.stmts[0].value
+        assert compare.compare_unsigned
+
+    def test_short_comparison_promotes_to_signed(self):
+        program = analyzed(
+            "int f(unsigned short a, unsigned short b) { return a < b; }"
+        )
+        compare = program.functions()[0].body.stmts[0].value
+        assert not compare.compare_unsigned
+
+    def test_pointer_comparison_unsigned(self):
+        program = analyzed("int f(int *a, int *b) { return a < b; }")
+        assert program.functions()[0].body.stmts[0].value.compare_unsigned
+
+    def test_pointer_difference_is_integer(self):
+        program = analyzed("long f(int *a, int *b) { return a - b; }")
+        assert program.functions()[0].body.stmts[0].value.ctype == (
+            ast.IntType("long")
+        )
+
+    def test_sizeof_type(self):
+        program = analyzed("long f() { return sizeof(short); }")
+        assert program.functions()[0].body.stmts[0].value.ctype == (
+            ast.IntType("long")
+        )
+
+
+class TestDiagnostics:
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("void f() { x = 1; }", "undeclared"),
+            ("void f() { int a; int a; }", "redeclaration"),
+            ("void f() { 3 = 4; }", "lvalue"),
+            ("int f() { return g(); }", "unknown function"),
+            ("int g(int a) { return a; } int f() { return g(); }",
+             "expects 1 args"),
+            ("void f(int a) { a[0] = 1; }", "non-pointer"),
+            ("void f(int *p) { p % 3; }", "bad operands"),
+            ("void f() { break; }", "outside a loop"),
+            ("void f() { continue; }", "outside a loop"),
+            ("int f() { return; }", "without a value"),
+            ("void f() { return 3; }", "void"),
+            ("void f() { void v; }", "void variable"),
+            ("int g = 5;", "initializer"),
+            ("void f(int *p, int *q) { p + q; }", "bad operands"),
+        ],
+    )
+    def test_error_cases(self, source, fragment):
+        with pytest.raises(SemanticError, match=fragment):
+            analyzed(source)
+
+    def test_scopes_nest(self):
+        analyzed("void f() { int a; { int a; a = 1; } a = 2; }")
+
+    def test_inner_scope_does_not_leak(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            analyzed("void f() { { int a; } a = 1; }")
+
+    def test_for_init_scope(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            analyzed("void f() { for (int i = 0; i < 3; i++) ; i = 1; }")

@@ -1,0 +1,170 @@
+"""Unit tests for blocks, functions, modules."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    BasicBlock,
+    CondJump,
+    Const,
+    Function,
+    GlobalVar,
+    Jump,
+    Module,
+    Mov,
+    Reg,
+    Ret,
+)
+from repro.ir.function import clone_blocks
+
+
+def small_function() -> Function:
+    func = Function("f", [Reg(0)])
+    func.add_block("entry", [Mov(Reg(1), Const(0)), Jump("loop")])
+    func.add_block(
+        "loop",
+        [
+            Mov(Reg(1), Reg(0)),
+            CondJump("lt", Reg(1), Const(10), "loop", "done"),
+        ],
+    )
+    func.add_block("done", [Ret(Reg(1))])
+    return func
+
+
+class TestBasicBlock:
+    def test_successors_jump(self):
+        block = BasicBlock("a", [Jump("b")])
+        assert block.successors() == ["b"]
+
+    def test_successors_condjump(self):
+        block = BasicBlock("a", [CondJump("eq", Reg(0), Const(0), "t", "f")])
+        assert block.successors() == ["t", "f"]
+
+    def test_successors_condjump_same_target_collapses(self):
+        block = BasicBlock("a", [CondJump("eq", Reg(0), Const(0), "t", "t")])
+        assert block.successors() == ["t"]
+
+    def test_successors_ret_empty(self):
+        assert BasicBlock("a", [Ret(None)]).successors() == []
+
+    def test_terminator_missing_raises(self):
+        block = BasicBlock("a", [Mov(Reg(0), Const(1))])
+        with pytest.raises(IRError):
+            block.terminator
+
+    def test_empty_block_raises(self):
+        with pytest.raises(IRError):
+            BasicBlock("a").terminator
+
+    def test_body_excludes_terminator(self):
+        block = BasicBlock("a", [Mov(Reg(0), Const(1)), Jump("b")])
+        assert len(block.body) == 1
+
+    def test_retarget(self):
+        block = BasicBlock("a", [CondJump("eq", Reg(0), Const(0), "x", "y")])
+        block.retarget("x", "z")
+        term = block.terminator
+        assert term.iftrue == "z"
+        assert term.iffalse == "y"
+
+
+class TestFunction:
+    def test_new_reg_indices_increase(self):
+        func = Function("f", [Reg(0), Reg(1)])
+        assert func.new_reg().index == 2
+        assert func.new_reg().index == 3
+
+    def test_new_label_unique(self):
+        func = small_function()
+        labels = {func.new_label() for _ in range(5)}
+        assert len(labels) == 5
+        assert not any(func.has_block(l) for l in labels)
+
+    def test_duplicate_block_label_rejected(self):
+        func = small_function()
+        with pytest.raises(IRError):
+            func.add_block("entry")
+
+    def test_entry_is_first_block(self):
+        assert small_function().entry.label == "entry"
+
+    def test_block_lookup_and_index(self):
+        func = small_function()
+        assert func.block("loop").label == "loop"
+        assert func.block_index("done") == 2
+        with pytest.raises(IRError):
+            func.block("missing")
+
+    def test_add_block_after(self):
+        func = small_function()
+        func.add_block("mid", [Jump("done")], after="entry")
+        assert [b.label for b in func.blocks][:2] == ["entry", "mid"]
+
+    def test_remove_block(self):
+        func = small_function()
+        func.remove_block("done")
+        assert not func.has_block("done")
+
+    def test_frame_slot_uniquified(self):
+        func = Function("f")
+        first = func.add_frame_slot("buf", 16)
+        second = func.add_frame_slot("buf", 32)
+        assert first == "buf"
+        assert second != "buf"
+        assert func.frame_slots[second] == (32, 8)
+
+    def test_max_reg_index(self):
+        assert small_function().max_reg_index() == 1
+
+    def test_iter_instrs_covers_all_blocks(self):
+        assert len(list(small_function().iter_instrs())) == 5
+
+
+class TestModule:
+    def test_add_and_lookup_function(self):
+        module = Module("m")
+        func = small_function()
+        module.add_function(func)
+        assert module.function("f") is func
+        with pytest.raises(IRError):
+            module.function("g")
+
+    def test_duplicate_function_rejected(self):
+        module = Module("m")
+        module.add_function(small_function())
+        with pytest.raises(IRError):
+            module.add_function(small_function())
+
+    def test_globals(self):
+        module = Module("m")
+        module.add_global(GlobalVar("g", 64, 8))
+        with pytest.raises(IRError):
+            module.add_global(GlobalVar("g", 8))
+
+    def test_global_size_positive(self):
+        with pytest.raises(IRError):
+            GlobalVar("g", 0)
+
+    def test_global_init_must_fit(self):
+        with pytest.raises(IRError):
+            GlobalVar("g", 2, init=b"abc")
+
+
+class TestCloneBlocks:
+    def test_internal_edges_remapped_external_kept(self):
+        func = small_function()
+        copies = clone_blocks(
+            func, ["loop"], {"loop": "loop.copy"}
+        )
+        assert copies[0].label == "loop.copy"
+        term = copies[0].terminator
+        assert term.iftrue == "loop.copy"  # internal edge remapped
+        assert term.iffalse == "done"      # external edge kept
+
+    def test_instructions_are_clones(self):
+        func = small_function()
+        copies = clone_blocks(func, ["entry"], {"entry": "e2"})
+        copies[0].instrs[0].substitute_uses({})
+        copies[0].instrs[0].dst = Reg(42)
+        assert func.block("entry").instrs[0].dst == Reg(1)

@@ -1,0 +1,181 @@
+"""Unit tests for the RTL instruction classes."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    BinOp,
+    Call,
+    CondJump,
+    Const,
+    Extract,
+    FrameAddr,
+    GlobalAddr,
+    Insert,
+    Jump,
+    Load,
+    Mov,
+    Reg,
+    Ret,
+    Store,
+    UnOp,
+    invert_relation,
+    swap_relation,
+)
+from repro.ir.rtl import RELATIONS
+
+
+class TestOperands:
+    def test_reg_equality_is_by_index(self):
+        assert Reg(3) == Reg(3, "named")
+        assert Reg(3) != Reg(4)
+
+    def test_reg_hash_matches_equality(self):
+        assert hash(Reg(3)) == hash(Reg(3, "other"))
+
+    def test_const_equality(self):
+        assert Const(5) == Const(5)
+        assert Const(5) != Const(6)
+
+    def test_const_and_reg_never_equal(self):
+        assert Const(3) != Reg(3)
+
+    def test_const_requires_int(self):
+        with pytest.raises(IRError):
+            Const("five")
+
+    def test_reg_repr_includes_name_hint(self):
+        assert "iv" in repr(Reg(2, "iv"))
+
+
+class TestRelations:
+    @pytest.mark.parametrize("rel", RELATIONS)
+    def test_invert_is_involution(self, rel):
+        assert invert_relation(invert_relation(rel)) == rel
+
+    @pytest.mark.parametrize("rel", RELATIONS)
+    def test_swap_is_involution(self, rel):
+        assert swap_relation(swap_relation(rel)) == rel
+
+    def test_invert_examples(self):
+        assert invert_relation("lt") == "ge"
+        assert invert_relation("eq") == "ne"
+        assert invert_relation("ltu") == "geu"
+
+    def test_swap_examples(self):
+        assert swap_relation("lt") == "gt"
+        assert swap_relation("eq") == "eq"
+        assert swap_relation("leu") == "geu"
+
+
+class TestUsesAndDefs:
+    def test_mov_reg(self):
+        instr = Mov(Reg(1), Reg(2))
+        assert instr.uses() == [Reg(2)]
+        assert instr.defs() == [Reg(1)]
+
+    def test_mov_const_has_no_uses(self):
+        assert Mov(Reg(1), Const(7)).uses() == []
+
+    def test_binop(self):
+        instr = BinOp("add", Reg(1), Reg(2), Const(3))
+        assert instr.uses() == [Reg(2)]
+        assert instr.defs() == [Reg(1)]
+
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(IRError):
+            BinOp("bogus", Reg(1), Reg(2), Reg(3))
+
+    def test_unop_rejects_unknown_op(self):
+        with pytest.raises(IRError):
+            UnOp("bogus", Reg(1), Reg(2))
+
+    def test_load(self):
+        instr = Load(Reg(1), Reg(2), 4, 2, signed=True)
+        assert instr.uses() == [Reg(2)]
+        assert instr.defs() == [Reg(1)]
+        assert instr.is_memory
+
+    def test_load_rejects_bad_width(self):
+        with pytest.raises(IRError):
+            Load(Reg(1), Reg(2), 0, 3)
+
+    def test_store_uses_base_and_src(self):
+        instr = Store(Reg(2), 0, Reg(3), 1)
+        assert instr.uses() == [Reg(2), Reg(3)]
+        assert instr.defs() == []
+
+    def test_extract(self):
+        instr = Extract(Reg(1), Reg(2), Reg(3), 2, signed=False)
+        assert set(r.index for r in instr.uses()) == {2, 3}
+
+    def test_insert(self):
+        instr = Insert(Reg(1), Reg(2), Reg(3), Const(0), 1)
+        assert set(r.index for r in instr.uses()) == {2, 3}
+
+    def test_call_uses_register_args(self):
+        instr = Call(Reg(1), "f", [Reg(2), Const(3), Reg(4)])
+        assert [r.index for r in instr.uses()] == [2, 4]
+        assert instr.defs() == [Reg(1)]
+
+    def test_call_without_result(self):
+        assert Call(None, "f", []).defs() == []
+
+    def test_condjump_is_terminator(self):
+        instr = CondJump("lt", Reg(1), Const(0), "a", "b")
+        assert instr.is_terminator
+        assert instr.uses() == [Reg(1)]
+
+    def test_jump_and_ret_are_terminators(self):
+        assert Jump("x").is_terminator
+        assert Ret(None).is_terminator
+        assert Ret(Reg(2)).uses() == [Reg(2)]
+
+    def test_frameaddr_globaladdr_define(self):
+        assert FrameAddr(Reg(1), "slot").defs() == [Reg(1)]
+        assert GlobalAddr(Reg(1), "g").defs() == [Reg(1)]
+
+
+class TestSubstitution:
+    def test_substitute_uses_binop(self):
+        instr = BinOp("add", Reg(1), Reg(2), Reg(3))
+        instr.substitute_uses({Reg(2): Const(9), Reg(3): Reg(7)})
+        assert instr.a == Const(9)
+        assert instr.b == Reg(7)
+
+    def test_substitute_does_not_touch_defs(self):
+        instr = BinOp("add", Reg(1), Reg(1), Const(1))
+        instr.substitute_uses({Reg(1): Reg(5)})
+        assert instr.dst == Reg(1)
+        assert instr.a == Reg(5)
+
+    def test_substitute_defs(self):
+        instr = BinOp("add", Reg(1), Reg(1), Const(1))
+        instr.substitute_defs({Reg(1): Reg(9)})
+        assert instr.dst == Reg(9)
+        assert instr.a == Reg(1)
+
+    def test_load_base_cannot_become_constant(self):
+        instr = Load(Reg(1), Reg(2), 0, 4)
+        with pytest.raises(IRError):
+            instr.substitute_uses({Reg(2): Const(4)})
+
+    def test_clone_is_deep_enough(self):
+        original = Store(Reg(1), 8, Reg(2), 2)
+        copy = original.clone()
+        copy.substitute_uses({Reg(2): Const(0)})
+        copy.disp = 99
+        assert original.src == Reg(2)
+        assert original.disp == 8
+
+    def test_clone_does_not_share_notes(self):
+        original = Load(Reg(1), Reg(2), 0, 4)
+        original.notes["k"] = 1
+        copy = original.clone()
+        copy.notes["k"] = 2
+        assert original.notes["k"] == 1
+
+    def test_ret_substitution(self):
+        instr = Ret(Reg(4))
+        instr.substitute_uses({Reg(4): Const(0)})
+        assert instr.value == Const(0)

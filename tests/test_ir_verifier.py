@@ -1,0 +1,107 @@
+"""Verifier failure-mode tests."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Call,
+    Const,
+    FrameAddr,
+    Function,
+    GlobalAddr,
+    Jump,
+    Module,
+    Mov,
+    Reg,
+    Ret,
+    verify_function,
+    verify_module,
+)
+
+
+def valid_function() -> Function:
+    func = Function("f")
+    func.add_block("entry", [Mov(Reg(0), Const(1)), Ret(Reg(0))])
+    return func
+
+
+def test_valid_function_passes():
+    verify_function(valid_function())
+
+
+def test_function_without_blocks_rejected():
+    with pytest.raises(IRError, match="no blocks"):
+        verify_function(Function("f"))
+
+
+def test_empty_block_rejected():
+    func = Function("f")
+    func.add_block("entry")
+    with pytest.raises(IRError, match="empty"):
+        verify_function(func)
+
+
+def test_missing_terminator_rejected():
+    func = Function("f")
+    func.add_block("entry", [Mov(Reg(0), Const(1))])
+    with pytest.raises(IRError, match="terminator"):
+        verify_function(func)
+
+
+def test_terminator_in_middle_rejected():
+    func = Function("f")
+    func.add_block("entry", [Ret(None), Mov(Reg(0), Const(1)), Ret(None)])
+    with pytest.raises(IRError, match="not at block end"):
+        verify_function(func)
+
+
+def test_unknown_jump_target_rejected():
+    func = Function("f")
+    func.add_block("entry", [Jump("nowhere")])
+    with pytest.raises(IRError, match="unknown"):
+        verify_function(func)
+
+
+def test_duplicate_labels_rejected():
+    func = Function("f")
+    func.add_block("entry", [Ret(None)])
+    func.blocks.append(func.blocks[0])
+    with pytest.raises(IRError, match="duplicate"):
+        verify_function(func)
+
+
+def test_unknown_frame_slot_rejected():
+    func = Function("f")
+    func.add_block("entry", [FrameAddr(Reg(0), "nope"), Ret(None)])
+    with pytest.raises(IRError, match="frame"):
+        verify_function(func)
+
+
+def test_unknown_global_rejected_with_module():
+    module = Module()
+    func = Function("f")
+    func.add_block("entry", [GlobalAddr(Reg(0), "nope"), Ret(None)])
+    module.add_function(func)
+    with pytest.raises(IRError, match="global"):
+        verify_module(module)
+
+
+def test_unknown_callee_rejected_with_module():
+    module = Module()
+    func = Function("f")
+    func.add_block("entry", [Call(None, "ghost", []), Ret(None)])
+    module.add_function(func)
+    with pytest.raises(IRError, match="unknown function"):
+        verify_module(module)
+
+
+def test_verify_module_aggregates_all_function_errors():
+    module = Module()
+    for name in ("a", "b"):
+        func = Function(name)
+        func.add_block("entry", [Jump("nowhere")])
+        module.add_function(func)
+    with pytest.raises(IRError) as excinfo:
+        verify_module(module)
+    assert "a/" in str(excinfo.value)
+    assert "b/" in str(excinfo.value)

@@ -1,0 +1,139 @@
+"""Coverage of the remaining small units: cycle reports, workload
+references, error hierarchy, builder guards."""
+
+import pytest
+
+from repro.bench import workloads
+from repro.errors import (
+    AlignmentTrap,
+    IRError,
+    LoweringError,
+    ParseError,
+    ReproError,
+    SemanticError,
+    SimulationError,
+)
+from repro.ir import Const, Function, IRBuilder, Mov, Reg
+from repro.sim.costs import CycleReport
+
+
+class TestCycleReport:
+    def _report(self, base, dmiss=0, imiss=0):
+        return CycleReport(
+            machine="alpha",
+            base_cycles=base,
+            dcache_miss_cycles=dmiss,
+            icache_miss_cycles=imiss,
+            instr_count=100,
+            load_count=10,
+            store_count=5,
+        )
+
+    def test_total_includes_miss_cycles(self):
+        report = self._report(1000, dmiss=50, imiss=25)
+        assert report.total_cycles == 1075
+
+    def test_memory_accesses(self):
+        assert self._report(10).memory_accesses == 15
+
+    def test_speedup_and_savings(self):
+        fast = self._report(500)
+        slow = self._report(1000)
+        assert fast.speedup_over(slow) == 2.0
+        assert fast.percent_savings_over(slow) == 50.0
+
+    def test_repr_mentions_machine(self):
+        assert "alpha" in repr(self._report(10))
+
+
+class TestWorkloads:
+    def test_lcg_deterministic(self):
+        assert workloads.lcg_bytes(16, seed=5) == workloads.lcg_bytes(
+            16, seed=5
+        )
+        assert workloads.lcg_bytes(16, seed=5) != workloads.lcg_bytes(
+            16, seed=6
+        )
+
+    def test_lcg_bytes_in_range(self):
+        assert all(0 <= v <= 255 for v in workloads.lcg_bytes(256))
+
+    def test_lcg_shorts_signed_range(self):
+        values = workloads.lcg_shorts(256, span=1 << 15)
+        assert all(-(1 << 14) <= v < (1 << 14) for v in values)
+
+    def test_ref_image_add_saturates(self):
+        assert workloads.ref_image_add([200], [100]) == [255]
+
+    def test_ref_mirror_is_involution(self):
+        image = workloads.lcg_bytes(12 * 3)
+        once = workloads.ref_mirror(image, 12, 3)
+        twice = workloads.ref_mirror(once, 12, 3)
+        assert twice == image
+
+    def test_ref_translate_moves_pixels(self):
+        image = list(range(16))
+        moved = workloads.ref_translate(image, 4, 4, 1, 1)
+        assert moved[1 * 4 + 1] == image[0]
+
+    def test_ref_cmppt_orders(self):
+        assert workloads.ref_cmppt([0, 1], [0, 1]) == 0
+        assert workloads.ref_cmppt([0, 0], [0, 1]) == -1
+        assert workloads.ref_cmppt([0, 2], [0, 1]) == 1  # don't-care last
+
+    def test_eqntott_terms_shape(self):
+        terms = workloads.eqntott_terms(5, 16)
+        assert len(terms) == 80
+        assert all(v in (0, 1, 2) for v in terms)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [IRError, ParseError, SemanticError, LoweringError,
+         SimulationError, AlignmentTrap],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        if error_type is AlignmentTrap:
+            instance = AlignmentTrap(0x1001, 4)
+        elif error_type is ParseError:
+            instance = ParseError("bad", 3, 7)
+        else:
+            instance = error_type("boom")
+        assert isinstance(instance, ReproError)
+
+    def test_parse_error_formats_location(self):
+        error = ParseError("unexpected token", 12, 5)
+        assert "12:5" in str(error)
+        assert error.line == 12
+
+    def test_alignment_trap_carries_details(self):
+        trap = AlignmentTrap(0x1003, 8)
+        assert trap.address == 0x1003
+        assert trap.width == 8
+        assert "0x1003" in str(trap)
+
+
+class TestIRBuilder:
+    def test_emit_after_terminator_rejected(self):
+        func = Function("f")
+        builder = IRBuilder(func)
+        block = builder.new_block()
+        builder.position_at(block)
+        builder.ret(Const(0))
+        with pytest.raises(IRError, match="terminator"):
+            builder.emit(Mov(func.new_reg(), Const(1)))
+
+    def test_no_current_block_rejected(self):
+        builder = IRBuilder(Function("f"))
+        with pytest.raises(IRError):
+            builder.emit(Mov(Reg(0), Const(1)))
+
+    def test_helpers_mint_fresh_registers(self):
+        func = Function("f")
+        builder = IRBuilder(func)
+        builder.position_at(builder.new_block())
+        a = builder.mov(Const(1))
+        b = builder.binop("add", a, Const(2))
+        c = builder.unop("neg", b)
+        assert len({a.index, b.index, c.index}) == 3

@@ -1,0 +1,416 @@
+"""Scalar optimization passes: folding, copy propagation, CSE, DCE,
+peephole, CFG simplification, global constants."""
+
+import pytest
+
+from repro.ir import (
+    BinOp,
+    Const,
+    Jump,
+    Load,
+    Mov,
+    Reg,
+    Store,
+    UnOp,
+    parse_module,
+    verify_function,
+)
+from repro.machine import get_machine
+from repro.opt import (
+    constant_fold,
+    copy_propagate,
+    dead_code_elimination,
+    local_cse,
+    simplify_cfg,
+)
+from repro.opt.global_const import global_const_prop
+from repro.opt.peephole import peephole
+from repro.opt.pass_manager import PassContext, cleanup
+
+
+@pytest.fixture
+def ctx():
+    return PassContext(get_machine("alpha"))
+
+
+def func_of(text):
+    return next(iter(parse_module(text)))
+
+
+def block_ops(func, label="entry"):
+    return [type(i).__name__ for i in func.block(label).instrs]
+
+
+class TestConstantFold:
+    def test_binop_folds(self, ctx):
+        func = func_of(
+            "func f() {\nentry:\n    r1 = 3\n    r2 = add 3, 4\n"
+            "    ret r2\n}"
+        )
+        constant_fold(func, ctx)
+        instr = func.block("entry").instrs[1]
+        assert isinstance(instr, Mov) and instr.src == Const(7)
+
+    @pytest.mark.parametrize(
+        "expr, expected",
+        [
+            ("add 3, 4", 7),
+            ("sub 3, 10", -7),
+            ("mul 6, 7", 42),
+            ("div 7, -2", -3),
+            ("rem 7, -2", 1),
+            ("divu 100, 7", 14),
+            ("and 12, 10", 8),
+            ("or 12, 10", 14),
+            ("xor 12, 10", 6),
+            ("shl 1, 10", 1024),
+            ("shra -8, 2", -2),
+            ("shrl 8, 2", 2),
+        ],
+    )
+    def test_arithmetic_matches_c(self, ctx, expr, expected):
+        func = func_of(
+            f"func f() {{\nentry:\n    r1 = {expr}\n    ret r1\n}}"
+        )
+        constant_fold(func, ctx)
+        value = func.block("entry").instrs[0].src.value
+        mask = ctx.word_mask
+        assert value == expected & mask
+
+    def test_division_by_zero_not_folded(self, ctx):
+        func = func_of(
+            "func f() {\nentry:\n    r1 = div 3, 0\n    ret r1\n}"
+        )
+        constant_fold(func, ctx)
+        assert isinstance(func.block("entry").instrs[0], BinOp)
+
+    def test_wraparound_at_word_size(self):
+        ctx32 = PassContext(get_machine("m88100"))
+        func = func_of(
+            "func f() {\nentry:\n    r1 = mul 65536, 65536\n    ret r1\n}"
+        )
+        constant_fold(func, ctx32)
+        assert func.block("entry").instrs[0].src == Const(0)
+
+    @pytest.mark.parametrize(
+        "expr", ["add r0, 0", "mul r0, 1", "shl r0, 0", "sub r0, 0"]
+    )
+    def test_identities_become_moves(self, ctx, expr):
+        func = func_of(
+            f"func f(r0) {{\nentry:\n    r1 = {expr}\n    ret r1\n}}"
+        )
+        constant_fold(func, ctx)
+        assert isinstance(func.block("entry").instrs[0], Mov)
+
+    @pytest.mark.parametrize("expr", ["mul r0, 0", "and r0, 0", "sub r0, r0",
+                                      "xor r0, r0"])
+    def test_annihilators_become_zero(self, ctx, expr):
+        func = func_of(
+            f"func f(r0) {{\nentry:\n    r1 = {expr}\n    ret r1\n}}"
+        )
+        constant_fold(func, ctx)
+        instr = func.block("entry").instrs[0]
+        assert isinstance(instr, Mov) and instr.src == Const(0)
+
+    def test_constant_branch_resolved(self, ctx):
+        func = func_of(
+            "func f() {\nentry:\n    br lt 1, 2, a, b\na:\n    ret 1\n"
+            "b:\n    ret 0\n}"
+        )
+        constant_fold(func, ctx)
+        assert isinstance(func.block("entry").instrs[0], Jump)
+        assert func.block("entry").instrs[0].target == "a"
+
+    def test_unop_folds(self, ctx):
+        func = func_of(
+            "func f() {\nentry:\n    r1 = sext1 255\n    ret r1\n}"
+        )
+        constant_fold(func, ctx)
+        assert func.block("entry").instrs[0].src == Const(-1 & ctx.word_mask)
+
+
+class TestCopyPropagation:
+    def test_const_propagates(self, ctx):
+        func = func_of(
+            "func f() {\nentry:\n    r1 = 5\n    r2 = add r1, r1\n"
+            "    ret r2\n}"
+        )
+        copy_propagate(func, ctx)
+        instr = func.block("entry").instrs[1]
+        assert instr.a == Const(5) and instr.b == Const(5)
+
+    def test_copy_chain_collapses(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = r0\n    r2 = r1\n"
+            "    ret r2\n}"
+        )
+        copy_propagate(func, ctx)
+        ret = func.block("entry").instrs[-1]
+        assert ret.value == Reg(0)
+
+    def test_invalidated_by_redefinition(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = r0\n    r0 = 9\n"
+            "    r2 = add r1, 1\n    ret r2\n}"
+        )
+        copy_propagate(func, ctx)
+        add = func.block("entry").instrs[2]
+        assert add.a == Reg(1)  # r1 may NOT read r0 anymore
+
+    def test_increment_rematerialized(self, ctx):
+        # i = i + 1 hidden behind a CSE'd temp must be restored.
+        func = func_of(
+            "func f(r0) {\nentry:\n    r2 = add r0, 1\n"
+            "    r3 = mul r2, 2\n    r0 = r2\n    ret r3\n}"
+        )
+        copy_propagate(func, ctx)
+        instr = func.block("entry").instrs[2]
+        assert isinstance(instr, BinOp)
+        assert instr.op == "add" and instr.dst == Reg(0)
+
+
+class TestLocalCSE:
+    def test_repeated_expression_reused(self, ctx):
+        func = func_of(
+            "func f(r0, r1) {\nentry:\n    r2 = add r0, r1\n"
+            "    r3 = add r0, r1\n    r4 = mul r2, r3\n    ret r4\n}"
+        )
+        local_cse(func, ctx)
+        assert isinstance(func.block("entry").instrs[1], Mov)
+
+    def test_commutative_match(self, ctx):
+        func = func_of(
+            "func f(r0, r1) {\nentry:\n    r2 = add r0, r1\n"
+            "    r3 = add r1, r0\n    r4 = mul r2, r3\n    ret r4\n}"
+        )
+        local_cse(func, ctx)
+        assert isinstance(func.block("entry").instrs[1], Mov)
+
+    def test_noncommutative_not_matched(self, ctx):
+        func = func_of(
+            "func f(r0, r1) {\nentry:\n    r2 = sub r0, r1\n"
+            "    r3 = sub r1, r0\n    r4 = mul r2, r3\n    ret r4\n}"
+        )
+        local_cse(func, ctx)
+        assert isinstance(func.block("entry").instrs[1], BinOp)
+
+    def test_redefined_operand_invalidates(self, ctx):
+        func = func_of(
+            "func f(r0, r1) {\nentry:\n    r2 = add r0, r1\n"
+            "    r0 = 0\n    r3 = add r0, r1\n    r4 = mul r2, r3\n"
+            "    ret r4\n}"
+        )
+        local_cse(func, ctx)
+        assert isinstance(func.block("entry").instrs[2], BinOp)
+
+    def test_redundant_load_eliminated(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = load.4s [r0]\n"
+            "    r2 = load.4s [r0]\n    r3 = add r1, r2\n    ret r3\n}"
+        )
+        local_cse(func, ctx)
+        assert isinstance(func.block("entry").instrs[1], Mov)
+
+    def test_store_kills_load_availability(self, ctx):
+        func = func_of(
+            "func f(r0, r1) {\nentry:\n    r2 = load.4s [r0]\n"
+            "    store.4 [r1], 0\n    r3 = load.4s [r0]\n"
+            "    r4 = add r2, r3\n    ret r4\n}"
+        )
+        local_cse(func, ctx)
+        assert isinstance(func.block("entry").instrs[2], Load)
+
+    def test_self_increment_not_rewritten(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = add r0, 1\n"
+            "    r0 = add r0, 1\n    r2 = mul r1, r0\n    ret r2\n}"
+        )
+        local_cse(func, ctx)
+        assert isinstance(func.block("entry").instrs[1], BinOp)
+
+
+class TestDCE:
+    def test_unused_computation_removed(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = add r0, 1\n    ret r0\n}"
+        )
+        dead_code_elimination(func, ctx)
+        assert len(func.block("entry").instrs) == 1
+
+    def test_dead_iv_cycle_removed(self, ctx):
+        # i feeds only itself: classic EliminateInductionVariables case.
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = 0\n    jump loop\n"
+            "loop:\n    r1 = add r1, 1\n    r0 = sub r0, 1\n"
+            "    br gt r0, 0, loop, out\nout:\n    ret r0\n}"
+        )
+        dead_code_elimination(func, ctx)
+        assert block_ops(func, "loop") == ["BinOp", "CondJump"]
+
+    def test_stores_and_calls_kept(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    store.4 [r0], 1\n"
+            "    call f(r0)\n    ret 0\n}"
+        )
+        dead_code_elimination(func, ctx)
+        assert len(func.block("entry").instrs) == 3
+
+    def test_chain_feeding_store_kept(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = add r0, 4\n"
+            "    r2 = mul r1, 2\n    store.4 [r0], r2\n    ret 0\n}"
+        )
+        dead_code_elimination(func, ctx)
+        assert len(func.block("entry").instrs) == 4
+
+
+class TestPeephole:
+    def test_and_after_zext_removed(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = zext1 r0\n"
+            "    r2 = and r1, 255\n    ret r2\n}"
+        )
+        peephole(func, ctx)
+        assert isinstance(func.block("entry").instrs[1], Mov)
+
+    def test_and_with_narrower_mask_kept(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = zext2 r0\n"
+            "    r2 = and r1, 255\n    ret r2\n}"
+        )
+        peephole(func, ctx)
+        assert isinstance(func.block("entry").instrs[1], BinOp)
+
+    def test_store_of_extension_skips_it(self, ctx):
+        func = func_of(
+            "func f(r0, r1) {\nentry:\n    r2 = zext1 r1\n"
+            "    store.1 [r0], r2\n    ret 0\n}"
+        )
+        peephole(func, ctx)
+        store = func.block("entry").instrs[1]
+        assert store.src == Reg(1)
+
+    def test_store_wider_than_extension_kept(self, ctx):
+        func = func_of(
+            "func f(r0, r1) {\nentry:\n    r2 = zext1 r1\n"
+            "    store.4 [r0], r2\n    ret 0\n}"
+        )
+        peephole(func, ctx)
+        assert func.block("entry").instrs[1].src == Reg(2)
+
+    def test_source_redefinition_blocks_rewrite(self, ctx):
+        func = func_of(
+            "func f(r0, r1) {\nentry:\n    r2 = zext1 r1\n"
+            "    r1 = 0\n    store.1 [r0], r2\n    ret 0\n}"
+        )
+        peephole(func, ctx)
+        assert func.block("entry").instrs[2].src == Reg(2)
+
+
+class TestSimplifyCFG:
+    def test_jump_threading(self, ctx):
+        func = func_of(
+            "func f() {\nentry:\n    jump hop\nhop:\n    jump end\n"
+            "end:\n    ret 0\n}"
+        )
+        simplify_cfg(func, ctx)
+        assert len(func.blocks) == 1
+
+    def test_unreachable_removed(self, ctx):
+        func = func_of(
+            "func f() {\nentry:\n    ret 0\nisland:\n    jump island\n}"
+        )
+        simplify_cfg(func, ctx)
+        assert [b.label for b in func.blocks] == ["entry"]
+
+    def test_chain_merging(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = add r0, 1\n    jump next\n"
+            "next:\n    r2 = add r1, 1\n    ret r2\n}"
+        )
+        simplify_cfg(func, ctx)
+        assert len(func.blocks) == 1
+        assert len(func.block("entry").instrs) == 3
+
+    def test_empty_diamond_collapses_fully(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    br lt r0, 0, a, b\n"
+            "a:\n    jump join\nb:\n    jump join\n"
+            "join:\n    r1 = 5\n    ret r1\n}"
+        )
+        simplify_cfg(func, ctx)
+        verify_function(func)
+        # Both arms thread away, the branch collapses, join merges in.
+        assert len(func.blocks) == 1
+
+    def test_block_with_two_real_preds_not_merged(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    br lt r0, 0, a, b\n"
+            "a:\n    store.4 [r0], 1\n    jump join\n"
+            "b:\n    store.4 [r0], 2\n    jump join\n"
+            "join:\n    r1 = 5\n    ret r1\n}"
+        )
+        simplify_cfg(func, ctx)
+        verify_function(func)
+        assert func.has_block("join")
+
+    def test_same_target_branch_collapses(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    br lt r0, 0, out, out\n"
+            "out:\n    ret 0\n}"
+        )
+        simplify_cfg(func, ctx)
+        assert len(func.blocks) == 1
+
+
+class TestGlobalConstProp:
+    def test_cross_block_constant(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = 7\n    br lt r0, 0, a, b\n"
+            "a:\n    r2 = add r1, 1\n    ret r2\n"
+            "b:\n    r2 = add r1, 2\n    ret r2\n}"
+        )
+        global_const_prop(func, ctx)
+        assert func.block("a").instrs[0].a == Const(7)
+        assert func.block("b").instrs[0].a == Const(7)
+
+    def test_conflicting_defs_blocked(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    br lt r0, 0, a, b\n"
+            "a:\n    r1 = 1\n    jump join\n"
+            "b:\n    r1 = 2\n    jump join\n"
+            "join:\n    r2 = add r1, 0\n    ret r2\n}"
+        )
+        global_const_prop(func, ctx)
+        assert func.block("join").instrs[0].a == Reg(1)
+
+    def test_agreeing_defs_propagate(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    br lt r0, 0, a, b\n"
+            "a:\n    r1 = 3\n    jump join\n"
+            "b:\n    r1 = 3\n    jump join\n"
+            "join:\n    r2 = add r1, 0\n    ret r2\n}"
+        )
+        global_const_prop(func, ctx)
+        assert func.block("join").instrs[0].a == Const(3)
+
+    def test_parameter_untouched(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = add r0, 1\n    ret r1\n}"
+        )
+        assert not global_const_prop(func, ctx)
+
+
+class TestCleanupBundle:
+    def test_cleanup_reaches_fixpoint_and_verifies(self, ctx):
+        func = func_of(
+            "func f(r0) {\nentry:\n    r1 = 5\n    r2 = add r1, 0\n"
+            "    r3 = r2\n    r4 = mul r3, 1\n    jump hop\n"
+            "hop:\n    r5 = add r4, r0\n    ret r5\n}"
+        )
+        cleanup(func, PassContext(get_machine("alpha")))
+        verify_function(func)
+        # Everything folds into a single add of the constant.
+        assert len(func.blocks) == 1
+        ops = [i for i in func.block("entry").instrs]
+        assert len(ops) == 2
