@@ -1,0 +1,11 @@
+/* Inner product over short vectors — the paper's Table II `dot` kernel.
+ * Unrolling exposes runs of adjacent 2-byte loads for coalescing. */
+int dot(short *a, short *b, int n) {
+    int i;
+    int sum;
+    sum = 0;
+    for (i = 0; i < n; i = i + 1) {
+        sum = sum + a[i] * b[i];
+    }
+    return sum;
+}

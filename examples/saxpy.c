@@ -1,0 +1,8 @@
+/* saxpy over shorts: reads two arrays, writes one — store coalescing
+ * kicks in under the `coalesce-all` configuration. */
+void saxpy(short *y, short *x, int a, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        y[i] = y[i] + a * x[i];
+    }
+}

@@ -36,6 +36,7 @@ Quickstart::
 from repro.errors import (
     AlignmentTrap,
     IRError,
+    LintError,
     LoweringError,
     ParseError,
     PassError,
@@ -59,6 +60,7 @@ __all__ = [
     "AlignmentTrap",
     "CompiledProgram",
     "IRError",
+    "LintError",
     "LoweringError",
     "MACHINE_NAMES",
     "PRESETS",

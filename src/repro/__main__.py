@@ -4,6 +4,7 @@ Commands:
 
 * ``compile FILE`` — compile a MiniC file and print the final RTL.
 * ``run FILE --entry F --args ...`` — compile, simulate, report cycles.
+* ``lint FILE`` — run the sanitizer checkers over a MiniC or RTL file.
 * ``tables`` — regenerate the paper's tables.
 * ``machines`` — list the supported machine models.
 
@@ -12,6 +13,8 @@ Examples::
     python -m repro compile kernel.c --machine alpha --config coalesce-all
     python -m repro run kernel.c --entry dotproduct --array a:2:1,2,3,4 \\
         --array b:2:5,6,7,8 --args a b 4
+    python -m repro lint kernel.c --config coalesce-all --differential
+    python -m repro lint hand_written.rtl --checks coalesce-safety
     python -m repro tables --machine alpha --size 48
 """
 
@@ -51,7 +54,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _compile_from_args(args) -> object:
+def _compile_from_args(args, **extra) -> object:
     with open(args.file) as handle:
         source = handle.read()
     return compile_minic(
@@ -62,6 +65,7 @@ def _compile_from_args(args) -> object:
         force_coalesce=args.force_coalesce,
         unaligned_loads=args.unaligned_loads,
         regalloc=args.regalloc,
+        **extra,
     )
 
 
@@ -114,6 +118,69 @@ def cmd_run(args) -> int:
             print(f"{name}[0:{count}] =",
                   sim.read_words(addresses[name], count, width))
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro import ReproError, get_machine
+    from repro.sanitize import DiagnosticSink, lint_module
+
+    checks = (
+        [c.strip() for c in args.checks.split(",") if c.strip()]
+        if args.checks else None
+    )
+    machine = get_machine(args.machine)
+    sink = DiagnosticSink()
+    stats = {}
+
+    try:
+        if args.file.endswith(".rtl"):
+            # Hand-written RTL: verify structurally (into the sink), then
+            # lint; --differential runs the cleanup bundle under the
+            # differential pass-sanitizer.
+            from repro.ir.parser import parse_module
+            from repro.ir.verifier import verify_module
+            from repro.opt.pass_manager import (
+                PassContext, PassManager, cleanup,
+            )
+
+            with open(args.file) as handle:
+                module = parse_module(handle.read(), name=args.file)
+            verify_module(module, sink=sink)
+            if not sink.has_errors:
+                lint_module(module, machine, checks=checks, sink=sink)
+                if args.differential:
+                    ctx = PassContext(
+                        machine, sink=sink, differential=True
+                    )
+                    manager = PassManager(ctx).add("cleanup", cleanup)
+                    manager.run(module)
+                    stats = ctx.stats
+        else:
+            program = _compile_from_args(
+                args, differential=args.differential
+            )
+            sink.extend(program.diagnostics)
+            lint_module(
+                program.module, program.machine,
+                checks=checks, sink=sink,
+            )
+            stats = program.pass_stats
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(sink.render_grouped())
+    if args.stats and stats:
+        print()
+        print("pass statistics:")
+        for name in sorted(stats):
+            entry = stats[name]
+            print(
+                f"  {name:20s} runs {entry['runs']:3d}  "
+                f"changed {entry['changed']:3d}  "
+                f"{entry['seconds'] * 1000:8.1f} ms"
+            )
+    return 1 if sink.has_errors else 0
 
 
 def cmd_tables(args) -> int:
@@ -184,6 +251,26 @@ def main(argv=None) -> int:
                        help="dump first N elements of each array after")
     _add_common(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the sanitizer checkers over a file"
+    )
+    p_lint.add_argument("file", help="a MiniC .c file or an .rtl file")
+    p_lint.add_argument(
+        "--checks", default=None,
+        help="comma-separated checker ids (default: all)",
+    )
+    p_lint.add_argument(
+        "--differential", action="store_true",
+        help="re-execute each function before/after every pass and "
+             "report the pass on behaviour divergence",
+    )
+    p_lint.add_argument(
+        "--stats", action="store_true",
+        help="print per-pass changed/timing statistics",
+    )
+    _add_common(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_tables = sub.add_parser("tables", help="regenerate paper tables")
     p_tables.add_argument("--machine", dest="machine_filter", default=None)

@@ -12,7 +12,38 @@ class ReproError(Exception):
 
 
 class IRError(ReproError):
-    """Malformed IR: verifier failures, bad operands, unknown opcodes."""
+    """Malformed IR: verifier failures, bad operands, unknown opcodes.
+
+    Attributes:
+        location: optional structured location of the problem (the
+            sanitizer's ``Location``), so the verifier and the lint
+            checkers report positions uniformly.
+    """
+
+    def __init__(self, message: str, location: object = None):
+        super().__init__(message)
+        self.location = location
+
+
+class LintError(ReproError):
+    """One or more sanitizer findings of error severity.
+
+    Carries the list of :class:`repro.sanitize.diagnostics.Diagnostic`
+    values so callers can inspect findings programmatically; the message
+    is the rendered single-line form of each, newline-joined.
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        rendered = "\n".join(
+            d.render() if hasattr(d, "render") else str(d)
+            for d in self.diagnostics
+        )
+        count = len(self.diagnostics)
+        super().__init__(
+            f"{count} lint error(s):\n{rendered}" if rendered
+            else "lint errors"
+        )
 
 
 class ParseError(ReproError):

@@ -103,6 +103,12 @@ class CodeGenerator:
         params = [func.new_reg(p.name) for p in func_def.params]
         func.params = params
         func.reserve_reg_index(len(params) - 1 if params else -1)
+        # Declared parameter kinds; the differential sanitizer uses these
+        # to build pointer/integer fixtures without guessing from usage.
+        func.param_kinds = [
+            "ptr" if p.symbol.ctype.is_pointer else "int"
+            for p in func_def.params
+        ]
         self.func = func
         self.builder = IRBuilder(func)
         self.current_ret_void = func_def.ret_type.is_void

@@ -4,12 +4,21 @@ A pass is a callable ``pass_fn(func, ctx) -> bool`` returning whether it
 changed anything.  The manager runs passes in order, optionally to a
 fixpoint, verifying the IR after each pass so a transformation bug is
 caught at its source.
+
+The context also carries the sanitizer hooks: a ``sink`` collects
+diagnostics from anything that wants to report instead of raise, and
+``differential=True`` makes the manager snapshot each function before
+every pass and compare observable behaviour afterwards (see
+:mod:`repro.sanitize.differential`), so a miscompile is pinned to the
+pass that introduced it.  ``stats`` records per-pass changed/unchanged
+and wall-clock timing for every invocation.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.ir.function import Function, Module
 from repro.ir.verifier import verify_function
@@ -20,10 +29,16 @@ PassFn = Callable[[Function, "PassContext"], bool]
 
 @dataclass
 class PassContext:
-    """Target information every pass may need."""
+    """Target information and sanitizer hooks every pass may need."""
 
     machine: MachineDescription
     verify: bool = True
+    # Sanitizer integration: diagnostics land in the sink; differential
+    # mode re-executes each function before/after every pass.
+    sink: Optional[object] = None
+    differential: bool = False
+    # pass name -> {"runs": int, "changed": int, "seconds": float}
+    stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def word_bytes(self) -> int:
@@ -32,6 +47,14 @@ class PassContext:
     @property
     def word_mask(self) -> int:
         return self.machine.word_mask
+
+    def record_pass(self, name: str, changed: bool, seconds: float) -> None:
+        entry = self.stats.setdefault(
+            name, {"runs": 0, "changed": 0, "seconds": 0.0}
+        )
+        entry["runs"] += 1
+        entry["changed"] += 1 if changed else 0
+        entry["seconds"] += seconds
 
 
 class PassManager:
@@ -45,15 +68,41 @@ class PassManager:
         self.passes.append((name, pass_fn))
         return self
 
-    def run(self, module: Module) -> None:
-        for func in module:
-            self.run_on_function(func)
+    def _sanitizer(self, module: Optional[Module]):
+        if not (self.ctx.differential and module is not None
+                and self.ctx.sink is not None):
+            return None
+        from repro.sanitize.differential import DifferentialSanitizer
 
-    def run_on_function(self, func: Function) -> None:
+        return DifferentialSanitizer(
+            module, self.ctx.machine, self.ctx.sink
+        )
+
+    def run(self, module: Module) -> None:
+        sanitizer = self._sanitizer(module)
+        for func in module:
+            self.run_on_function(func, module, _sanitizer=sanitizer)
+
+    def run_on_function(
+        self,
+        func: Function,
+        module: Optional[Module] = None,
+        _sanitizer=None,
+    ) -> None:
+        sanitizer = _sanitizer
+        if sanitizer is None:
+            sanitizer = self._sanitizer(module)
         for name, pass_fn in self.passes:
-            pass_fn(func, self.ctx)
+            snapshot = sanitizer.snapshot(func) if sanitizer else None
+            started = time.perf_counter()
+            changed = bool(pass_fn(func, self.ctx))
+            self.ctx.record_pass(
+                name, changed, time.perf_counter() - started
+            )
             if self.ctx.verify:
                 verify_function(func)
+            if sanitizer is not None and changed:
+                sanitizer.compare(snapshot, func, name)
 
 
 def run_to_fixpoint(
@@ -67,7 +116,13 @@ def run_to_fixpoint(
     for _ in range(max_rounds):
         changed = False
         for pass_fn in passes:
-            if pass_fn(func, ctx):
+            name = getattr(pass_fn, "__name__", str(pass_fn))
+            started = time.perf_counter()
+            pass_changed = bool(pass_fn(func, ctx))
+            ctx.record_pass(
+                name, pass_changed, time.perf_counter() - started
+            )
+            if pass_changed:
                 changed = True
                 if ctx.verify:
                     verify_function(func)

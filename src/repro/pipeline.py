@@ -18,13 +18,14 @@ Four preset configurations reproduce the paper's measurement columns:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Union
 
 from repro.coalesce import CoalesceReport, coalesce_function
 from repro.errors import ReproError
 from repro.frontend import compile_source
-from repro.ir.function import Module
+from repro.ir.function import Function, Module
 from repro.ir.verifier import verify_module
 from repro.machine import MachineDescription, get_machine, lower_module
 from repro.opt import loop_invariant_code_motion, strength_reduce, unroll_function
@@ -56,6 +57,14 @@ class PipelineConfig:
     # with spilling).  Off by default: the paper's kernels fit 32
     # registers, and virtual registers keep tests allocation-independent.
     regalloc: bool = False
+    # Run the sanitizer checkers over the final module; findings land in
+    # CompiledProgram.diagnostics instead of raising.
+    sanitize: bool = False
+    # Differential pass-sanitizer: snapshot each function before every
+    # stage, re-execute both versions on auto-generated fixtures, and
+    # report the offending stage on any behaviour divergence.  Expensive;
+    # off by default.
+    differential: bool = False
 
     def __post_init__(self) -> None:
         if self.coalesce not in ("none", "loads", "all"):
@@ -100,6 +109,11 @@ class CompiledProgram:
     machine: MachineDescription
     config: PipelineConfig
     coalesce_reports: List[CoalesceReport] = field(default_factory=list)
+    # Sanitizer findings (repro.sanitize.Diagnostic), populated when the
+    # config enables sanitize/differential.
+    diagnostics: List[object] = field(default_factory=list)
+    # pass/stage name -> {"runs", "changed", "seconds"}
+    pass_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def simulator(self, **kwargs) -> Simulator:
         return Simulator(self.module, self.machine, **kwargs)
@@ -107,6 +121,10 @@ class CompiledProgram:
     @property
     def coalesced_loops(self) -> int:
         return sum(1 for r in self.coalesce_reports if r.applied)
+
+    @property
+    def lint_errors(self) -> List[object]:
+        return [d for d in self.diagnostics if d.severity == "error"]
 
 
 def compile_minic(
@@ -124,55 +142,112 @@ def compile_minic(
     if config.verify:
         verify_module(module)
 
-    ctx = PassContext(machine, verify=config.verify)
+    sink = None
+    sanitizer = None
+    if config.sanitize or config.differential:
+        from repro.sanitize import DiagnosticSink
+
+        sink = DiagnosticSink()
+    if config.differential:
+        from repro.sanitize.differential import DifferentialSanitizer
+
+        sanitizer = DifferentialSanitizer(module, machine, sink)
+
+    ctx = PassContext(
+        machine, verify=config.verify,
+        sink=sink, differential=config.differential,
+    )
     reports: List[CoalesceReport] = []
+
+    def stage(func: Function, name: str, thunk) -> object:
+        """Run one per-function stage with timing and (optionally) the
+        differential sanitizer wrapped around it."""
+        snapshot = sanitizer.snapshot(func) if sanitizer else None
+        started = time.perf_counter()
+        result = thunk()
+        seconds = time.perf_counter() - started
+        if isinstance(result, bool):
+            changed = result
+        elif isinstance(result, list):
+            changed = any(getattr(r, "applied", True) for r in result)
+        else:
+            changed = True
+        ctx.record_pass(name, changed, seconds)
+        if sanitizer is not None and changed:
+            sanitizer.compare(snapshot, func, name)
+        return result
+
+    def module_stage(name: str, thunk) -> None:
+        snapshots = (
+            {f.name: sanitizer.snapshot(f) for f in module}
+            if sanitizer else None
+        )
+        started = time.perf_counter()
+        thunk()
+        ctx.record_pass(name, True, time.perf_counter() - started)
+        if sanitizer is not None:
+            for f in module:
+                sanitizer.compare(snapshots[f.name], f, name)
 
     for func in module:
         if config.optimize:
-            cleanup(func, ctx)
-            loop_invariant_code_motion(func, ctx)
-            cleanup(func, ctx)
-            strength_reduce(func, ctx)
-            cleanup(func, ctx)
+            stage(func, "cleanup", lambda: cleanup(func, ctx))
+            stage(func, "licm",
+                  lambda: loop_invariant_code_motion(func, ctx))
+            stage(func, "cleanup", lambda: cleanup(func, ctx))
+            stage(func, "strength_reduce",
+                  lambda: strength_reduce(func, ctx))
+            stage(func, "cleanup", lambda: cleanup(func, ctx))
         if config.unroll:
-            unroll_function(func, ctx, factor=config.unroll_factor)
-            cleanup(func, ctx)
+            stage(func, "unroll", lambda: unroll_function(
+                func, ctx, factor=config.unroll_factor))
+            stage(func, "cleanup", lambda: cleanup(func, ctx))
         if config.coalesce != "none":
             divisibility = None
             if config.versioned_divisibility:
                 divisibility = config.unroll_factor or machine.word_bytes
             reports.extend(
-                coalesce_function(
+                stage(func, "coalesce", lambda: coalesce_function(
                     func,
                     ctx,
                     include_stores=config.coalesce == "all",
                     force=config.force_coalesce,
                     divisibility_factor=divisibility,
                     unaligned_loads=config.unaligned_loads,
-                )
+                ))
             )
             if config.optimize:
-                cleanup(func, ctx)
+                stage(func, "cleanup", lambda: cleanup(func, ctx))
 
-    lower_module(module, machine)
+    module_stage("lower", lambda: lower_module(module, machine))
     if config.verify:
         verify_module(module)
 
-    ctx_post = PassContext(machine, verify=config.verify)
     if config.optimize:
         for func in module:
-            cleanup(func, ctx_post)
+            stage(func, "cleanup", lambda: cleanup(func, ctx))
     if config.schedule:
-        schedule_module(module, machine)
+        module_stage("schedule",
+                     lambda: schedule_module(module, machine))
     if config.regalloc:
         from repro.opt.regalloc import allocate_registers
 
         for func in module:
-            allocate_registers(func, ctx_post)
+            stage(func, "regalloc",
+                  lambda: allocate_registers(func, ctx))
     if config.verify:
         verify_module(module)
 
-    return CompiledProgram(module, machine, config, reports)
+    if config.sanitize:
+        from repro.sanitize import lint_module
+
+        lint_module(module, machine, sink=sink)
+
+    return CompiledProgram(
+        module, machine, config, reports,
+        diagnostics=list(sink) if sink is not None else [],
+        pass_stats=dict(ctx.stats),
+    )
 
 
 def compile_and_run(

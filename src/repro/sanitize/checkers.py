@@ -1,0 +1,354 @@
+"""The general-purpose static checkers.
+
+Each checker audits one invariant the pipeline relies on:
+
+* ``def-before-use`` — dataflow over
+  :mod:`repro.analysis.reaching`: a register read with no reaching
+  definition is garbage (error); a register whose definition reaches
+  along only *some* paths may be used uninitialized (warning).
+* ``loop-shape`` — unroll and coalesce assume every natural loop has a
+  dedicated preheader and a single latch; report loops that do not.
+* ``dead-store`` / ``redundant-load`` — the paper's Figure 1 motivation
+  reported as lint warnings rather than transformed away.
+* ``cfg-consistency`` — cross-checks the production dominator algorithm
+  (Cooper-Harvey-Kennedy) against an independent brute-force solution of
+  the dominance equations, and flags unreachable blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfgutil import predecessors, reachable_labels, \
+    reverse_postorder
+from repro.analysis.dominators import immediate_dominators
+from repro.analysis.loops import find_loops
+from repro.analysis.reaching import reaching_definitions
+from repro.ir.function import Function, Module
+from repro.ir.rtl import Call, Jump, Load, Store
+from repro.sanitize.diagnostics import DiagnosticSink, Location
+from repro.sanitize.registry import checker
+
+
+# ---------------------------------------------------------------------------
+# def-before-use
+# ---------------------------------------------------------------------------
+
+def _definitely_assigned(func: Function) -> Dict[str, Set[int]]:
+    """Forward must-analysis: registers assigned on *every* path into each
+    reachable block (parameters count as assigned at entry)."""
+    reachable = reachable_labels(func)
+    labels = [b.label for b in func.blocks if b.label in reachable]
+    preds = predecessors(func)
+    universe: Set[int] = {p.index for p in func.params}
+    block_defs: Dict[str, Set[int]] = {}
+    for label in labels:
+        defs = {
+            reg.index
+            for instr in func.block(label).instrs
+            for reg in instr.defs()
+        }
+        block_defs[label] = defs
+        universe |= defs
+
+    entry = func.entry.label
+    assigned_in: Dict[str, Set[int]] = {
+        label: set(universe) for label in labels
+    }
+    assigned_in[entry] = {p.index for p in func.params}
+    assigned_out: Dict[str, Set[int]] = {
+        label: set(universe) for label in labels
+    }
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            if label == entry:
+                into = assigned_in[entry]
+            else:
+                incoming = [
+                    assigned_out[p] for p in preds[label] if p in assigned_out
+                ]
+                into = set.intersection(*incoming) if incoming \
+                    else set(universe)
+            out = into | block_defs[label]
+            if into != assigned_in[label] or out != assigned_out[label]:
+                assigned_in[label] = into
+                assigned_out[label] = out
+                changed = True
+    return assigned_in
+
+
+@checker(
+    "def-before-use",
+    "registers must have a reaching definition at every use",
+)
+def check_def_before_use(
+    func: Function, module: Optional[Module], machine, sink: DiagnosticSink
+) -> None:
+    reaching = reaching_definitions(func)
+    assigned_in = _definitely_assigned(func)
+    reachable = reachable_labels(func)
+    params = {p.index for p in func.params}
+
+    for block in func.blocks:
+        if block.label not in reachable:
+            continue
+        assigned = set(assigned_in[block.label])
+        for index, instr in enumerate(block.instrs):
+            for reg in instr.uses():
+                if reg.index in params or reg.index in assigned:
+                    continue
+                sites = reaching.reaching_at(
+                    block.label, index, reg.index
+                )
+                location = Location(func.name, block.label, index)
+                if not sites:
+                    sink.error(
+                        "def-before-use",
+                        f"r{reg.index} is read but never defined",
+                        location=location,
+                        hint="every register must be written before it "
+                             "is read; a pass probably deleted the "
+                             "defining instruction",
+                    )
+                else:
+                    sink.warning(
+                        "def-before-use",
+                        f"r{reg.index} may be used uninitialized (a "
+                        f"path from entry carries no definition)",
+                        location=location,
+                        hint="initialize the register on every path, "
+                             "e.g. in the entry block",
+                    )
+            for reg in instr.defs():
+                assigned.add(reg.index)
+
+
+# ---------------------------------------------------------------------------
+# loop-shape
+# ---------------------------------------------------------------------------
+
+@checker(
+    "loop-shape",
+    "natural loops need a dedicated preheader and a single latch",
+)
+def check_loop_shape(
+    func: Function, module: Optional[Module], machine, sink: DiagnosticSink
+) -> None:
+    preds = predecessors(func)
+    for loop in find_loops(func):
+        location = Location(func.name, loop.header)
+        if len(loop.latches) != 1:
+            sink.warning(
+                "loop-shape",
+                f"loop at {loop.header} has {len(loop.latches)} latches "
+                f"({', '.join(sorted(loop.latches))})",
+                location=location,
+                hint="unroll and coalesce require a single back edge; "
+                     "merge the latches through a common block",
+            )
+        outside = [
+            p for p in preds[loop.header] if p not in loop.blocks
+        ]
+        dedicated = False
+        if len(outside) == 1:
+            candidate = func.block(outside[0])
+            term = candidate.instrs[-1] if candidate.instrs else None
+            dedicated = isinstance(term, Jump) and \
+                term.target == loop.header
+        if not dedicated:
+            sink.warning(
+                "loop-shape",
+                f"loop at {loop.header} has no dedicated preheader "
+                f"({len(outside)} outside predecessor(s))",
+                location=location,
+                hint="run ensure_preheader before transforming this "
+                     "loop; run-time checks need a unique insertion "
+                     "point",
+            )
+
+
+# ---------------------------------------------------------------------------
+# dead-store / redundant-load
+# ---------------------------------------------------------------------------
+
+AccessKey = Tuple[int, int, int]  # (base register, displacement, width)
+
+
+def _overlaps(a: AccessKey, b: AccessKey) -> bool:
+    """Whether two same-base accesses touch common bytes."""
+    if a[0] != b[0]:
+        return True  # different base: may alias, stay conservative
+    return not (a[1] + a[2] <= b[1] or b[1] + b[2] <= a[1])
+
+
+@checker(
+    "redundant-load",
+    "a load re-reads bytes already loaded with no intervening store",
+)
+def check_redundant_load(
+    func: Function, module: Optional[Module], machine, sink: DiagnosticSink
+) -> None:
+    for block in func.blocks:
+        # key -> index of the live earlier load
+        live: Dict[AccessKey, int] = {}
+        for index, instr in enumerate(block.instrs):
+            if isinstance(instr, Call):
+                live.clear()
+                continue
+            if isinstance(instr, Store):
+                key = (instr.base.index, instr.disp, instr.width)
+                live = {
+                    k: v for k, v in live.items() if not _overlaps(k, key)
+                }
+                continue
+            if isinstance(instr, Load):
+                key = (instr.base.index, instr.disp, instr.width)
+                if not instr.unaligned and key in live:
+                    sink.warning(
+                        "redundant-load",
+                        f"load of [r{key[0]} + {key[1]}] repeats the "
+                        f"load at instruction {live[key]} with no "
+                        f"intervening store",
+                        location=Location(func.name, block.label, index),
+                        hint="the paper's Figure 1 pattern: reuse the "
+                             "previously loaded register, or let "
+                             "coalescing fold both into one wide access",
+                    )
+                elif not instr.unaligned:
+                    live[key] = index
+            # Any redefinition of a base register invalidates its keys.
+            for reg in instr.defs():
+                live = {
+                    k: v for k, v in live.items() if k[0] != reg.index
+                }
+
+
+@checker(
+    "dead-store",
+    "a store is overwritten before its bytes are ever read",
+)
+def check_dead_store(
+    func: Function, module: Optional[Module], machine, sink: DiagnosticSink
+) -> None:
+    for block in func.blocks:
+        # key -> index of the store whose bytes are not read yet
+        pending: Dict[AccessKey, int] = {}
+        for index, instr in enumerate(block.instrs):
+            if isinstance(instr, (Call, Load)):
+                pending.clear()
+                continue
+            if isinstance(instr, Store):
+                key = (instr.base.index, instr.disp, instr.width)
+                if not instr.unaligned and key in pending:
+                    sink.warning(
+                        "dead-store",
+                        f"store to [r{key[0]} + {key[1]}] at instruction "
+                        f"{pending[key]} is overwritten here before "
+                        f"any read",
+                        location=Location(func.name, block.label, index),
+                        hint="drop the earlier store, or let store "
+                             "coalescing merge the fields into one "
+                             "wide store",
+                    )
+                if not instr.unaligned:
+                    # Same-base overlapping but non-identical stores are
+                    # not reported (partial overwrite), just retired.
+                    pending = {
+                        k: v
+                        for k, v in pending.items()
+                        if k == key or not _overlaps(k, key)
+                    }
+                    pending[key] = index
+                continue
+            for reg in instr.defs():
+                pending = {
+                    k: v for k, v in pending.items() if k[0] != reg.index
+                }
+
+
+# ---------------------------------------------------------------------------
+# cfg-consistency
+# ---------------------------------------------------------------------------
+
+def _bruteforce_dominators(func: Function) -> Dict[str, Set[str]]:
+    """Independent dominator-set solution (iterative set intersection).
+
+    Deliberately *not* derived from :mod:`repro.analysis.dominators` so
+    the two implementations cross-check each other.
+    """
+    reachable = reachable_labels(func)
+    order = [l for l in reverse_postorder(func) if l in reachable]
+    preds = predecessors(func)
+    entry = func.entry.label
+    universe = set(order)
+    dom: Dict[str, Set[str]] = {
+        label: set(universe) for label in order
+    }
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == entry:
+                continue
+            incoming = [
+                dom[p] for p in preds[label] if p in dom
+            ]
+            new = set.intersection(*incoming) if incoming else set(universe)
+            new.add(label)
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+@checker(
+    "cfg-consistency",
+    "dominator tree must agree with the successor sets",
+)
+def check_cfg_consistency(
+    func: Function, module: Optional[Module], machine, sink: DiagnosticSink
+) -> None:
+    reachable = reachable_labels(func)
+    for block in func.blocks:
+        if block.label not in reachable:
+            sink.warning(
+                "cfg-consistency",
+                f"block {block.label} is unreachable from the entry",
+                location=Location(func.name, block.label),
+                hint="simplify_cfg removes dead blocks; leaving them "
+                     "in skews the cost model's code layout",
+            )
+
+    idom = immediate_dominators(func)
+    truth = _bruteforce_dominators(func)
+
+    for label, expected in truth.items():
+        # Dominator set implied by the idom tree.
+        chain: Set[str] = set()
+        walk: Optional[str] = label
+        seen: Set[str] = set()
+        while walk is not None and walk not in seen:
+            seen.add(walk)
+            chain.add(walk)
+            walk = idom.get(walk)
+        if chain != expected:
+            missing = sorted(expected - chain)
+            spurious = sorted(chain - expected)
+            detail = []
+            if missing:
+                detail.append(f"missing {', '.join(missing)}")
+            if spurious:
+                detail.append(f"spurious {', '.join(spurious)}")
+            sink.error(
+                "cfg-consistency",
+                f"dominator tree disagrees with the CFG at "
+                f"{label} ({'; '.join(detail)})",
+                location=Location(func.name, label),
+                hint="the immediate-dominator computation and the "
+                     "block successor sets are out of sync — likely a "
+                     "pass rewired a terminator without keeping the "
+                     "block list consistent",
+            )

@@ -1,0 +1,570 @@
+"""``coalesce-safety``: re-audit every widened access after the fact.
+
+The coalescer's own hazard analysis (:mod:`repro.coalesce.hazards`,
+Figure 4) decides what is safe *before* transforming.  This checker is an
+independent re-implementation of the same rules applied *after* the
+transformation, used as a cross-check: if the two ever disagree, one of
+them has a bug and the disagreement surfaces as a first-class diagnostic
+instead of a silent miscompile.
+
+An access is audited when it carries the coalescer's ``coalesced`` note
+or matches the widening signature (a wide load feeding :class:`Extract`
+instructions, a wide store fed by an :class:`Insert` chain).  For each
+audited access:
+
+* **alignment** (Figure 5, §2.2) — the wide address must be provably
+  aligned from the base/offset algebra (frame-slot or global alignment
+  propagated through the address computation, loop increments that are
+  multiples of the wide width) *or* guarded by a dominating run-time
+  ``(base + start) & (wide - 1) == 0`` test whose aligned arm dominates
+  the access;
+* **same-partition hazards** (Figure 4) — no overlapping same-base store
+  between a wide load and its extracts; no overlapping same-base load or
+  store between an insert chain and its wide store;
+* **base invariance** — the base register must not be redefined between
+  the group's first and last memory operation;
+* **cross-partition traffic** — memory operations on another base inside
+  the group's span need a run-time overlap check; if the surrounding loop
+  is entered unconditionally (no guard chain at all) this is an error,
+  otherwise a note pointing at the required check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfgutil import predecessors, reachable_labels
+from repro.analysis.dominators import dominates, immediate_dominators
+from repro.analysis.loops import Loop, find_loops
+from repro.analysis.reaching import DefSite, ReachingDefs, \
+    reaching_definitions
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.rtl import (
+    BinOp,
+    CondJump,
+    Const,
+    Extract,
+    FrameAddr,
+    GlobalAddr,
+    Insert,
+    Instr,
+    Jump,
+    Load,
+    Mov,
+    Reg,
+    Store,
+)
+from repro.sanitize.diagnostics import DiagnosticSink, Location
+from repro.sanitize.registry import checker
+
+_MAX_DEPTH = 12
+
+
+def _instr_at(func: Function, site: DefSite) -> Instr:
+    label, index = site
+    return func.block(label).instrs[index]
+
+
+# ---------------------------------------------------------------------------
+# Congruence of a register value modulo the wide width
+# ---------------------------------------------------------------------------
+
+def _congruence(
+    func: Function,
+    module: Optional[Module],
+    reaching: ReachingDefs,
+    label: str,
+    index: int,
+    reg_index: int,
+    width: int,
+    visited: Optional[Set[DefSite]] = None,
+    depth: int = 0,
+) -> Optional[int]:
+    """``value % width`` of ``reg_index`` just before ``label:index``,
+    or ``None`` when the algebra cannot prove a residue."""
+    if depth > _MAX_DEPTH:
+        return None
+    visited = visited if visited is not None else set()
+    sites = reaching.reaching_at(label, index, reg_index)
+    if not sites:
+        return None
+    residues: Set[int] = set()
+    for site in sites:
+        if site in visited:
+            # A cyclic definition (the IV increment reaching itself)
+            # contributes the same residue as the cycle entry; skip it.
+            continue
+        residue = _site_congruence(
+            func, module, reaching, site, reg_index, width,
+            visited | {site}, depth + 1,
+        )
+        if residue is None:
+            return None
+        residues.add(residue)
+    if len(residues) == 1:
+        return residues.pop()
+    return None
+
+
+def _site_congruence(
+    func: Function,
+    module: Optional[Module],
+    reaching: ReachingDefs,
+    site: DefSite,
+    reg_index: int,
+    width: int,
+    visited: Set[DefSite],
+    depth: int,
+) -> Optional[int]:
+    instr = _instr_at(func, site)
+    label, index = site
+
+    def operand(value) -> Optional[int]:
+        if isinstance(value, Const):
+            return value.value % width
+        if isinstance(value, Reg):
+            return _congruence(
+                func, module, reaching, label, index, value.index,
+                width, visited, depth,
+            )
+        return None
+
+    if isinstance(instr, Mov):
+        return operand(instr.src)
+    if isinstance(instr, FrameAddr):
+        _, align = func.frame_slots.get(instr.slot, (0, 1))
+        return 0 if align % width == 0 else None
+    if isinstance(instr, GlobalAddr):
+        if module is None or instr.name not in module.globals:
+            return None
+        align = module.globals[instr.name].align
+        return 0 if align % width == 0 else None
+    if isinstance(instr, BinOp):
+        if instr.op in ("add", "sub"):
+            a, b = operand(instr.a), operand(instr.b)
+            if a is None or b is None:
+                return None
+            return (a + b if instr.op == "add" else a - b) % width
+        if instr.op == "mul":
+            for side in (instr.a, instr.b):
+                if isinstance(side, Const) and side.value % width == 0:
+                    return 0
+            return None
+        if instr.op == "shl" and isinstance(instr.b, Const):
+            if (1 << instr.b.value) % width == 0:
+                return 0
+            return None
+        if instr.op == "and" and isinstance(instr.b, Const):
+            if instr.b.value % width == 0:
+                return 0
+            return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Run-time alignment guards
+# ---------------------------------------------------------------------------
+
+def _base_stable(
+    func: Function,
+    reaching: ReachingDefs,
+    guard: Tuple[str, int],
+    access: Tuple[str, int],
+    base_index: int,
+    width: int,
+) -> bool:
+    """The base register's residue mod ``width`` is the same at the guard
+    and at the access: every definition reaching the access either also
+    reached the guard or is a self-increment by a multiple of ``width``."""
+    guard_sites = reaching.reaching_at(guard[0], guard[1], base_index)
+    access_sites = reaching.reaching_at(access[0], access[1], base_index)
+    for site in access_sites:
+        if site in guard_sites:
+            continue
+        instr = _instr_at(func, site)
+        if (
+            isinstance(instr, BinOp)
+            and instr.op in ("add", "sub")
+            and instr.dst.index == base_index
+            and isinstance(instr.a, Reg)
+            and instr.a.index == base_index
+            and isinstance(instr.b, Const)
+            and instr.b.value % width == 0
+        ):
+            continue
+        return False
+    return True
+
+
+def _has_alignment_guard(
+    func: Function,
+    reaching: ReachingDefs,
+    idom: Dict[str, Optional[str]],
+    access_label: str,
+    access_index: int,
+    base_index: int,
+    disp: int,
+    width: int,
+) -> bool:
+    """Search the dominator chain for a ``(base + c) & (width-1) == 0``
+    test whose aligned arm dominates the access."""
+    walk = idom.get(access_label)
+    while walk is not None:
+        block = func.block(walk)
+        term = block.instrs[-1] if block.instrs else None
+        if (
+            isinstance(term, CondJump)
+            and term.rel in ("ne", "eq")
+            and isinstance(term.a, Reg)
+            and isinstance(term.b, Const)
+            and term.b.value == 0
+            and term.iftrue != term.iffalse
+        ):
+            aligned_arm = (
+                term.iffalse if term.rel == "ne" else term.iftrue
+            )
+            if dominates(idom, aligned_arm, access_label):
+                offset = _guarded_offset(
+                    func, reaching, walk, len(block.instrs) - 1,
+                    term.a.index, base_index, width,
+                )
+                if offset is not None and (disp - offset) % width == 0:
+                    if _base_stable(
+                        func, reaching,
+                        (walk, len(block.instrs) - 1),
+                        (access_label, access_index),
+                        base_index, width,
+                    ):
+                        return True
+        walk = idom.get(walk)
+    return False
+
+
+def _guarded_offset(
+    func: Function,
+    reaching: ReachingDefs,
+    label: str,
+    index: int,
+    tested_index: int,
+    base_index: int,
+    width: int,
+) -> Optional[int]:
+    """If the tested register is ``(base + c) & mask`` with a mask
+    covering the low ``log2(width)`` bits, return ``c``; else ``None``."""
+    site = reaching.unique_def_at(label, index, tested_index)
+    if site is None:
+        return None
+    instr = _instr_at(func, site)
+    if not (
+        isinstance(instr, BinOp)
+        and instr.op == "and"
+        and isinstance(instr.a, Reg)
+        and isinstance(instr.b, Const)
+    ):
+        return None
+    granularity = instr.b.value + 1
+    if granularity < width or granularity & (granularity - 1):
+        return None
+    addr = instr.a
+    if addr.index == base_index:
+        return 0
+    addr_site = reaching.unique_def_at(site[0], site[1], addr.index)
+    if addr_site is None:
+        return None
+    addr_def = _instr_at(func, addr_site)
+    if (
+        isinstance(addr_def, BinOp)
+        and addr_def.op == "add"
+        and isinstance(addr_def.a, Reg)
+        and addr_def.a.index == base_index
+        and isinstance(addr_def.b, Const)
+    ):
+        return addr_def.b.value
+    if (
+        isinstance(addr_def, Mov)
+        and isinstance(addr_def.src, Reg)
+        and addr_def.src.index == base_index
+    ):
+        return 0
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Widened-access discovery
+# ---------------------------------------------------------------------------
+
+class _Group:
+    """One widened access and its companion field operations."""
+
+    __slots__ = ("kind", "access_index", "first", "last", "instr")
+
+    def __init__(self, kind: str, access_index: int, first: int,
+                 last: int, instr: Instr):
+        self.kind = kind                # 'load' | 'store'
+        self.access_index = access_index
+        self.first = first              # first index of the group span
+        self.last = last                # last index of the group span
+        self.instr = instr
+
+
+def _find_groups(block: BasicBlock) -> List[_Group]:
+    groups: List[_Group] = []
+    instrs = block.instrs
+    for index, instr in enumerate(instrs):
+        if isinstance(instr, Load) and not instr.unaligned \
+                and instr.width >= 2:
+            extracts: List[int] = []
+            for later in range(index + 1, len(instrs)):
+                other = instrs[later]
+                if isinstance(other, Extract) \
+                        and other.src.index == instr.dst.index:
+                    extracts.append(later)
+                if any(r.index == instr.dst.index
+                       for r in other.defs()):
+                    break
+            if extracts or instr.notes.get("coalesced"):
+                groups.append(_Group(
+                    "load", index, index,
+                    max(extracts) if extracts else index, instr,
+                ))
+        elif isinstance(instr, Store) and not instr.unaligned \
+                and instr.width >= 2:
+            first = index
+            if isinstance(instr.src, Reg):
+                chain_reg = instr.src.index
+                inserts: List[int] = []
+                for earlier in range(index - 1, -1, -1):
+                    other = instrs[earlier]
+                    if isinstance(other, Insert) \
+                            and other.dst.index == chain_reg:
+                        inserts.append(earlier)
+                        if isinstance(other.acc, Reg):
+                            chain_reg = other.acc.index
+                        else:
+                            break
+                if inserts:
+                    first = min(inserts)
+                if inserts or instr.notes.get("coalesced"):
+                    groups.append(_Group(
+                        "store", index, first, index, instr,
+                    ))
+            elif instr.notes.get("coalesced"):
+                groups.append(_Group("store", index, index, index, instr))
+    return groups
+
+
+def _ranges_overlap(a_disp: int, a_width: int, b_disp: int,
+                    b_width: int) -> bool:
+    return not (a_disp + a_width <= b_disp or b_disp + b_width <= a_disp)
+
+
+def _loop_of(loops: List[Loop], label: str) -> Optional[Loop]:
+    for loop in loops:  # innermost first
+        if loop.contains(label):
+            return loop
+    return None
+
+
+def _loop_is_guarded(func: Function, loop: Loop) -> bool:
+    """Whether any path into the loop passes a conditional branch (the
+    coalescer's check chain, or any other guard)."""
+    preds = predecessors(func)
+    outside = [p for p in preds[loop.header] if p not in loop.blocks]
+    work = list(outside)
+    seen: Set[str] = set()
+    while work:
+        label = work.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        block = func.block(label)
+        term = block.instrs[-1] if block.instrs else None
+        if isinstance(term, CondJump) and term.iftrue != term.iffalse:
+            return True
+        work.extend(p for p in preds[label] if p not in loop.blocks)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The checker
+# ---------------------------------------------------------------------------
+
+@checker(
+    "coalesce-safety",
+    "widened accesses must satisfy the Figure 4/5 safety rules",
+)
+def check_coalesce_safety(
+    func: Function, module: Optional[Module], machine,
+    sink: DiagnosticSink,
+) -> None:
+    reachable = reachable_labels(func)
+    blocks = [b for b in func.blocks if b.label in reachable]
+    if not any(
+        isinstance(i, (Load, Store)) and i.width >= 2
+        for b in blocks for i in b.instrs
+    ):
+        return
+
+    reaching = reaching_definitions(func)
+    idom = immediate_dominators(func)
+    loops = find_loops(func)
+
+    for block in blocks:
+        for group in _find_groups(block):
+            _audit_group(
+                func, module, machine, block, group,
+                reaching, idom, loops, sink,
+            )
+
+
+def _audit_group(
+    func: Function,
+    module: Optional[Module],
+    machine,
+    block: BasicBlock,
+    group: _Group,
+    reaching: ReachingDefs,
+    idom: Dict[str, Optional[str]],
+    loops: List[Loop],
+    sink: DiagnosticSink,
+) -> None:
+    access = group.instr
+    width = access.width
+    base = access.base
+    location = Location(func.name, block.label, group.access_index)
+    kind = group.kind
+
+    # -- alignment (Figure 5) ------------------------------------------------
+    residue = _congruence(
+        func, module, reaching, block.label, group.access_index,
+        base.index, width,
+    )
+    if residue is not None:
+        if (residue + access.disp) % width != 0:
+            sink.error(
+                "coalesce-safety",
+                f"wide {kind} of {width} bytes at [r{base.index} + "
+                f"{access.disp}] is provably misaligned (base ≡ "
+                f"{residue} mod {width})",
+                location=location,
+                hint="an aligned access at this address traps; widen "
+                     "only tiles starting at a wide-aligned "
+                     "displacement",
+            )
+    elif not _has_alignment_guard(
+        func, reaching, idom, block.label, group.access_index,
+        base.index, access.disp, width,
+    ):
+        sink.error(
+            "coalesce-safety",
+            f"wide {kind} of {width} bytes at [r{base.index} + "
+            f"{access.disp}]: alignment is not provable and no "
+            f"dominating run-time alignment check guards it",
+            location=location,
+            hint="insert a '(base + start) & (wide - 1) == 0' test in "
+                 "the loop preheader branching to the original loop "
+                 "on failure (Figure 5)",
+        )
+
+    # -- intra-block hazards (Figure 4) --------------------------------------
+    cross_partition: List[int] = []
+    for position in range(group.first, group.last + 1):
+        if position == group.access_index:
+            continue
+        instr = block.instrs[position]
+
+        if position != group.first and any(
+            r.index == base.index for r in instr.defs()
+        ):
+            # The group spans several memory operations only for insert
+            # chains and extract fans; the base register must hold one
+            # value across the whole span.
+            if kind == "store":
+                sink.error(
+                    "coalesce-safety",
+                    f"base register r{base.index} is modified at "
+                    f"instruction {position}, between the coalesced "
+                    f"fields and the wide store",
+                    location=location,
+                    hint="the wide store must use the same base value "
+                         "the narrow stores did",
+                )
+
+        if kind == "load" and isinstance(instr, Extract) \
+                and instr.src.index == access.dst.index:
+            continue
+        if isinstance(instr, Insert):
+            continue
+
+        if kind == "load" and any(
+            r.index == access.dst.index for r in instr.defs()
+        ):
+            sink.error(
+                "coalesce-safety",
+                f"coalesced wide register r{access.dst.index} is "
+                f"clobbered at instruction {position} before its last "
+                f"extract",
+                location=location,
+                hint="extracts must read the wide load's value; "
+                     "a pass reordered or reused the register",
+            )
+
+        if not isinstance(instr, (Load, Store)):
+            continue
+        same_base = instr.base.index == base.index
+        overlap = _ranges_overlap(
+            access.disp, width, instr.disp, instr.width
+        )
+        if kind == "load" and isinstance(instr, Store):
+            if same_base and overlap:
+                sink.error(
+                    "coalesce-safety",
+                    f"store at instruction {position} writes into the "
+                    f"coalesced word between the wide load and its "
+                    f"extracts",
+                    location=location,
+                    hint="the original narrow loads after that store "
+                         "read the new bytes; this widening reads "
+                         "stale data (Figure 4 hazard)",
+                )
+            elif not same_base:
+                cross_partition.append(position)
+        elif kind == "store":
+            if same_base and overlap:
+                what = "load of" if isinstance(instr, Load) \
+                    else "store into"
+                sink.error(
+                    "coalesce-safety",
+                    f"{what} the coalesced word at instruction "
+                    f"{position}, between the narrow fields and the "
+                    f"delayed wide store",
+                    location=location,
+                    hint="delaying the store past this access reorders "
+                         "memory traffic (Figure 4 hazard)",
+                )
+            elif not same_base:
+                cross_partition.append(position)
+
+    if cross_partition:
+        loop = _loop_of(loops, block.label)
+        guarded = loop is not None and _loop_is_guarded(func, loop)
+        positions = ", ".join(str(p) for p in cross_partition)
+        if guarded:
+            sink.note(
+                "coalesce-safety",
+                f"cross-partition memory operation(s) at instruction(s) "
+                f"{positions} inside the coalesced span rely on the "
+                f"run-time overlap check guarding this loop",
+                location=location,
+            )
+        else:
+            sink.error(
+                "coalesce-safety",
+                f"cross-partition memory operation(s) at instruction(s) "
+                f"{positions} inside the coalesced span, and the loop "
+                f"is entered unconditionally — no run-time overlap "
+                f"check can have executed",
+                location=location,
+                hint="coalescing across a possible alias requires the "
+                     "DoAliasDetection preheader test (§2.2)",
+            )

@@ -1,0 +1,184 @@
+"""The diagnostics engine: findings as values, not exceptions.
+
+The IR verifier raises on the first structural problem, which is the right
+behaviour mid-pipeline (fail at the source) but useless for auditing: a
+sanitizer wants *every* finding, ranked by severity, attributed to a
+location and to the pass that introduced it.  This module provides the
+common currency:
+
+* :class:`Diagnostic` — one finding: severity, the check that produced it,
+  a :class:`Location` (function/block/instruction), the provenance (which
+  pass ran last), and an optional fix hint;
+* :class:`DiagnosticSink` — collects diagnostics instead of raising, with
+  severity queries and a :meth:`DiagnosticSink.raise_if_errors` escape
+  hatch into :class:`repro.errors.LintError`;
+* renderers — ``gcc``-style single-line form plus a grouped report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import LintError
+
+# Severities, most severe first.  Plain strings keep diagnostics trivially
+# serializable; the ordering lives here.
+ERROR = "error"
+WARNING = "warning"
+NOTE = "note"
+
+SEVERITIES = (ERROR, WARNING, NOTE)
+_RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding points: function, optionally block and instruction."""
+
+    function: str
+    block: Optional[str] = None
+    index: Optional[int] = None
+
+    def __str__(self) -> str:
+        text = self.function
+        if self.block is not None:
+            text += f"/{self.block}"
+        if self.index is not None:
+            text += f":{self.index}"
+        return text
+
+
+@dataclass
+class Diagnostic:
+    """One finding of one checker.
+
+    ``check`` is the registry id of the checker (``coalesce-safety``,
+    ``def-before-use``, ...).  ``provenance`` names the pass after which
+    the finding appeared — the differential sanitizer fills it in, static
+    checkers usually leave it empty.  ``hint`` is a human-oriented
+    suggestion of how to fix or silence the finding.
+    """
+
+    severity: str
+    check: str
+    message: str
+    location: Optional[Location] = None
+    provenance: str = ""
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def render(self) -> str:
+        """``gcc``-style single line: ``loc: severity: [check] message``."""
+        prefix = f"{self.location}: " if self.location else ""
+        text = f"{prefix}{self.severity}: [{self.check}] {self.message}"
+        if self.provenance:
+            text += f" (after pass '{self.provenance}')"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"<Diagnostic {self.severity} [{self.check}] {self.message}>"
+
+
+class DiagnosticSink:
+    """Collects diagnostics instead of raising.
+
+    Every checker takes a sink; severity bookkeeping and rendering live
+    here so checkers only ever construct :class:`Diagnostic` values.
+    """
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- emission -----------------------------------------------------------
+    def emit(self, diagnostic: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        for diagnostic in diagnostics:
+            self.emit(diagnostic)
+
+    def error(self, check: str, message: str, **kwargs) -> Diagnostic:
+        return self.emit(Diagnostic(ERROR, check, message, **kwargs))
+
+    def warning(self, check: str, message: str, **kwargs) -> Diagnostic:
+        return self.emit(Diagnostic(WARNING, check, message, **kwargs))
+
+    def note(self, check: str, message: str, **kwargs) -> Diagnostic:
+        return self.emit(Diagnostic(NOTE, check, message, **kwargs))
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    def by_check(self, check: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.check == check]
+
+    def counts(self) -> Dict[str, int]:
+        """Number of diagnostics per severity (zero entries included)."""
+        result = {severity: 0 for severity in SEVERITIES}
+        for diagnostic in self.diagnostics:
+            result[diagnostic.severity] += 1
+        return result
+
+    # -- output -------------------------------------------------------------
+    def sorted(self) -> List[Diagnostic]:
+        """Stable order: severity first, then location text."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (_RANK[d.severity], str(d.location or ""), d.check),
+        )
+
+    def render_lines(self) -> List[str]:
+        return [d.render() for d in self.sorted()]
+
+    def render_grouped(self) -> str:
+        """Group findings by function, then by check, with a summary."""
+        by_function: Dict[str, List[Diagnostic]] = {}
+        for diagnostic in self.sorted():
+            name = diagnostic.location.function if diagnostic.location \
+                else "<module>"
+            by_function.setdefault(name, []).append(diagnostic)
+        sections: List[str] = []
+        for name, diagnostics in by_function.items():
+            lines = [f"{name}:"]
+            lines.extend(f"  {d.render()}" for d in diagnostics)
+            sections.append("\n".join(lines))
+        counts = self.counts()
+        summary = ", ".join(
+            f"{counts[severity]} {severity}(s)"
+            for severity in SEVERITIES
+            if counts[severity]
+        ) or "no findings"
+        sections.append(summary)
+        return "\n".join(sections)
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`LintError` carrying this sink's error findings."""
+        if self.has_errors:
+            raise LintError(self.errors)

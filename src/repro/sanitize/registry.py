@@ -1,0 +1,71 @@
+"""Checker registry.
+
+A checker is a callable ``check(func, module, machine, sink) -> None``
+that appends :class:`repro.sanitize.diagnostics.Diagnostic` values to the
+sink.  Checkers self-register under a stable id via the :func:`checker`
+decorator; the lint CLI selects them by id (``--checks a,b,c``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.ir.function import Function, Module
+from repro.sanitize.diagnostics import DiagnosticSink
+
+CheckerFn = Callable[[Function, Optional[Module], object, DiagnosticSink],
+                     None]
+
+_CHECKERS: Dict[str, CheckerFn] = {}
+
+
+def checker(check_id: str, description: str) -> Callable[[CheckerFn],
+                                                         CheckerFn]:
+    """Register ``fn`` as the checker behind ``check_id``."""
+
+    def decorate(fn: CheckerFn) -> CheckerFn:
+        if check_id in _CHECKERS:
+            raise ReproError(f"duplicate checker id {check_id!r}")
+        fn.check_id = check_id
+        fn.description = description
+        _CHECKERS[check_id] = fn
+        return fn
+
+    return decorate
+
+
+def checker_ids() -> List[str]:
+    """All registered checker ids, sorted."""
+    return sorted(_CHECKERS)
+
+
+def get_checkers(names: Optional[Sequence[str]] = None) -> List[CheckerFn]:
+    """Resolve ``names`` (default: all) to checker callables."""
+    if names is None:
+        return [_CHECKERS[check_id] for check_id in checker_ids()]
+    resolved: List[CheckerFn] = []
+    for name in names:
+        try:
+            resolved.append(_CHECKERS[name])
+        except KeyError:
+            raise ReproError(
+                f"unknown checker {name!r}; known: "
+                f"{', '.join(checker_ids())}"
+            ) from None
+    return resolved
+
+
+def run_checkers(
+    module: Module,
+    machine,
+    checks: Optional[Sequence[str]] = None,
+    sink: Optional[DiagnosticSink] = None,
+) -> DiagnosticSink:
+    """Run the selected checkers over every function of ``module``."""
+    sink = sink if sink is not None else DiagnosticSink()
+    selected = get_checkers(checks)
+    for func in module:
+        for check in selected:
+            check(func, module, machine, sink)
+    return sink

@@ -71,3 +71,76 @@ def test_tables_single_machine(capsys):
     out = capsys.readouterr().out
     assert "Simulated cycles on alpha" in out
     assert "convolution" in out
+
+
+# ---------------------------------------------------------------------------
+# lint
+# ---------------------------------------------------------------------------
+
+import pathlib
+
+EXAMPLES = sorted(
+    str(p)
+    for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.c")
+)
+
+
+@pytest.mark.lint
+@pytest.mark.parametrize("example", EXAMPLES,
+                         ids=[pathlib.Path(p).stem for p in EXAMPLES])
+def test_lint_examples_are_clean(example, capsys):
+    assert main([
+        "lint", example, "--machine", "alpha", "--config", "coalesce-all",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "error" not in out
+
+
+@pytest.mark.lint
+def test_lint_differential_smoke(kernel_file, capsys):
+    assert main([
+        "lint", kernel_file, "--machine", "alpha",
+        "--config", "coalesce-all", "--differential", "--stats",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "pass statistics:" in out
+    assert "coalesce" in out
+
+
+def test_lint_rejects_hazardous_rtl(tmp_path, capsys):
+    # Compile a byte loop with coalescing, then hand-miscompile it by
+    # replacing every run-time check branch with an unconditional jump
+    # to the fast path; the lint must exit non-zero.
+    from repro import compile_minic
+    from repro.ir import CondJump, Jump, format_module
+
+    source = """
+    void bytecopy(char *dst, char *src, int n) {
+        int i;
+        for (i = 0; i < n; i++) dst[i] = src[i];
+    }
+    """
+    program = compile_minic(source, "alpha", "coalesce-all",
+                            schedule=False)
+    func = program.module.functions["bytecopy"]
+    dropped = 0
+    for block in func.blocks:
+        term = block.instrs[-1]
+        if isinstance(term, CondJump) and block.label.startswith("chk"):
+            passed = term.iffalse if term.rel == "ne" else term.iftrue
+            block.instrs[-1] = Jump(passed)
+            dropped += 1
+    assert dropped
+    path = tmp_path / "bad.rtl"
+    path.write_text(format_module(program.module))
+
+    assert main(["lint", str(path), "--machine", "alpha",
+                 "--checks", "coalesce-safety"]) == 1
+    out = capsys.readouterr().out
+    assert "coalesce-safety" in out
+
+
+def test_lint_unknown_check_is_an_error(kernel_file, capsys):
+    assert main(["lint", kernel_file, "--checks", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown checker" in err

@@ -1,0 +1,149 @@
+"""Diagnostics machinery: rendering, the sink, LintError, verifier mode."""
+
+import pytest
+
+from repro.errors import IRError, LintError
+from repro.ir import (
+    Const,
+    Function,
+    Jump,
+    Module,
+    Mov,
+    Reg,
+    Ret,
+    verify_function,
+    verify_module,
+)
+from repro.sanitize import (
+    Diagnostic,
+    DiagnosticSink,
+    ERROR,
+    Location,
+    NOTE,
+    WARNING,
+)
+
+
+def test_location_rendering():
+    assert str(Location("f")) == "f"
+    assert str(Location("f", "loop0")) == "f/loop0"
+    assert str(Location("f", "loop0", 3)) == "f/loop0:3"
+
+
+def test_diagnostic_render_full():
+    diag = Diagnostic(
+        ERROR, "differential", "behaviour diverged",
+        location=Location("dot", "loop0", 2),
+        provenance="peephole",
+        hint="disable the pass",
+    )
+    text = diag.render()
+    assert "dot/loop0:2" in text
+    assert "error" in text
+    assert "[differential]" in text
+    assert "after pass 'peephole'" in text
+    assert "hint: disable the pass" in text
+
+
+def test_diagnostic_render_minimal():
+    diag = Diagnostic(WARNING, "loop-shape", "no preheader")
+    assert diag.render() == "warning: [loop-shape] no preheader"
+
+
+def test_sink_collects_and_classifies():
+    sink = DiagnosticSink()
+    sink.error("a", "first", location=Location("f"))
+    sink.warning("b", "second", location=Location("f"))
+    sink.note("c", "third", location=Location("f"))
+    assert len(sink) == 3
+    assert sink.has_errors
+    assert [d.severity for d in sink.errors] == [ERROR]
+    assert [d.severity for d in sink.warnings] == [WARNING]
+    assert sink.counts() == {ERROR: 1, WARNING: 1, NOTE: 1}
+    assert [d.message for d in sink.by_check("a")] == ["first"]
+    assert sink.by_check("nope") == []
+
+
+def test_sink_sorted_puts_errors_first():
+    sink = DiagnosticSink()
+    sink.note("z", "a note", location=Location("f", "b1"))
+    sink.error("a", "an error", location=Location("f", "b2"))
+    ordered = sink.sorted()
+    assert ordered[0].severity == ERROR
+    assert ordered[-1].severity == NOTE
+
+
+def test_render_grouped_by_function():
+    sink = DiagnosticSink()
+    sink.error("x", "bad", location=Location("g", "entry", 0))
+    sink.warning("y", "meh", location=Location("f", "entry", 1))
+    text = sink.render_grouped()
+    assert "f:" in text and "g:" in text
+    assert "1 error(s), 1 warning(s)" in text
+
+
+def test_raise_if_errors():
+    sink = DiagnosticSink()
+    sink.warning("w", "only a warning")
+    sink.raise_if_errors()  # warnings alone never raise
+
+    sink.error("e", "fatal", location=Location("f"))
+    with pytest.raises(LintError) as excinfo:
+        sink.raise_if_errors()
+    assert len(excinfo.value.diagnostics) == 1
+    assert "[e] fatal" in str(excinfo.value)
+
+
+def test_ir_error_carries_location():
+    func = Function("f")
+    func.add_block("entry", [Jump("nowhere")])
+    with pytest.raises(IRError) as excinfo:
+        verify_function(func)
+    location = excinfo.value.location
+    assert location is not None
+    assert location.function == "f"
+    assert location.block == "entry"
+
+
+def test_verify_function_sink_mode_collects_everything():
+    func = Function("f")
+    func.add_block("entry", [Mov(Reg(0), Const(1))])  # no terminator
+    func.add_block("stray", [Jump("nowhere")])        # bad target
+    sink = DiagnosticSink()
+    verify_function(func, sink=sink)  # must not raise
+    assert sink.has_errors
+    messages = [d.message for d in sink]
+    assert any("terminator" in m for m in messages)
+    assert any("nowhere" in m for m in messages)
+    assert all(d.check == "verify" for d in sink)
+
+
+def test_verify_module_attaches_diagnostics():
+    module = Module()
+    for name in ("a", "b"):
+        func = Function(name)
+        func.add_block("entry", [Jump("nowhere")])
+        module.add_function(func)
+    with pytest.raises(IRError) as excinfo:
+        verify_module(module)
+    diagnostics = excinfo.value.diagnostics
+    assert {d.location.function for d in diagnostics} == {"a", "b"}
+    assert "a/" in str(excinfo.value) and "b/" in str(excinfo.value)
+
+
+def test_verify_module_sink_mode_does_not_raise():
+    module = Module()
+    func = Function("f")
+    func.add_block("entry", [Jump("nowhere")])
+    module.add_function(func)
+    sink = DiagnosticSink()
+    verify_module(module, sink=sink)
+    assert sink.has_errors
+
+
+def test_valid_function_produces_no_diagnostics():
+    func = Function("f")
+    func.add_block("entry", [Mov(Reg(0), Const(1)), Ret(Reg(0))])
+    sink = DiagnosticSink()
+    verify_function(func, sink=sink)
+    assert len(sink) == 0
