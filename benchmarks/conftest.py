@@ -5,37 +5,20 @@ pytest-benchmark timer measures host wall-time of the simulation; the
 numbers that matter for the reproduction — simulated cycles per column and
 percent savings — are attached as ``extra_info`` and printed.
 
-Default image size is 64×64 (the paper used 500×500; percentages are size
-independent once the loop dominates, which tests/test_paper_claims.py
-verifies).  Set REPRO_BENCH_SIZE to override, e.g. REPRO_BENCH_SIZE=128.
+The fixtures and helpers live in :mod:`repro.testing`, shared with
+``tests/conftest.py`` so the bench suite and the unit suite cannot
+drift.  Default image size is 48×48 (the paper used 500×500; percentages
+are size independent once the loop dominates, which
+tests/test_paper_claims.py verifies).  Set REPRO_BENCH_SIZE to override,
+e.g. REPRO_BENCH_SIZE=128.
 """
 
-import os
-
-import pytest
-
-SIZE = int(os.environ.get("REPRO_BENCH_SIZE", "48"))
-
-
-@pytest.fixture(scope="session")
-def bench_size():
-    return {"width": SIZE, "height": SIZE}
-
-
-def record_columns(benchmark, rows_or_row, extra=None):
-    """Attach column cycles + savings to the benchmark report."""
-    row = rows_or_row
-    benchmark.extra_info.update(
-        {
-            "cc_cycles": row.cc,
-            "vpo_cycles": row.vpo,
-            "coalesce_loads_cycles": row.coalesce_loads,
-            "coalesce_all_cycles": row.coalesce_all,
-            "percent_savings_paper_formula": round(
-                row.percent_savings_paper, 2
-            ),
-            "percent_savings_vs_vpo": round(row.percent_savings_best, 2),
-        }
-    )
-    if extra:
-        benchmark.extra_info.update(extra)
+from repro.testing import (  # noqa: F401  (re-exported fixtures/helpers)
+    BENCH_SIZE as SIZE,
+    alpha,
+    bench_size,
+    m68030,
+    m88100,
+    machine,
+    record_columns,
+)

@@ -6,6 +6,8 @@ Commands:
 * ``run FILE --entry F --args ...`` — compile, simulate, report cycles.
 * ``lint FILE`` — run the sanitizer checkers over a MiniC or RTL file.
 * ``tables`` — regenerate the paper's tables.
+* ``bench`` — run the benchmark matrix in parallel, persist a
+  ``BENCH_<tag>.json`` baseline, and/or gate against one.
 * ``machines`` — list the supported machine models.
 
 Examples::
@@ -16,6 +18,8 @@ Examples::
     python -m repro lint kernel.c --config coalesce-all --differential
     python -m repro lint hand_written.rtl --checks coalesce-safety
     python -m repro tables --machine alpha --size 48
+    python -m repro bench --jobs 4 --tag nightly
+    python -m repro bench --quick --compare BENCH_seed.json
 """
 
 from __future__ import annotations
@@ -201,6 +205,106 @@ def cmd_tables(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import runner
+    from repro.errors import ReproError
+
+    if args.quick:
+        size = args.size if args.size is not None else runner.QUICK_SIZE
+        machines = list(runner.QUICK_MACHINES)
+    else:
+        size = args.size if args.size is not None else runner.FULL_SIZE
+        machines = sorted(MACHINE_NAMES)
+    if args.machines and args.machines != "all":
+        machines = [m.strip() for m in args.machines.split(",")]
+        unknown = set(machines) - set(MACHINE_NAMES)
+        if unknown:
+            print(
+                f"error: unknown machine(s) {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+    programs = list(runner.ALL_PROGRAMS)
+    if args.programs:
+        programs = [p.strip() for p in args.programs.split(",")]
+    variants = list(runner.COLUMNS)
+    if args.variants:
+        variants = [v.strip() for v in args.variants.split(",")]
+        unknown = set(variants) - set(runner.COLUMNS)
+        if unknown:
+            print(
+                f"error: unknown variant(s) {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    jobs = args.jobs if args.jobs is not None else runner.default_jobs()
+    total = len(programs) * len(machines) * len(variants)
+    print(
+        f"bench: {len(programs)} programs x {len(machines)} machines x "
+        f"{len(variants)} variants = {total} records "
+        f"({size}x{size} images, {jobs} job{'s' if jobs != 1 else ''})",
+        file=sys.stderr,
+    )
+
+    done = []
+
+    def progress(record):
+        done.append(record)
+        flag = "" if record["output_ok"] else "  [OUTPUT MISMATCH]"
+        cached = " (cached)" if record["compile_cache_hit"] else ""
+        print(
+            f"  [{len(done):3d}/{total}] {record['program']}/"
+            f"{record['machine']}/{record['variant']}: "
+            f"{record['cycles']} cycles in "
+            f"{record['wall_seconds']:.2f}s{cached}{flag}",
+            file=sys.stderr,
+        )
+
+    try:
+        records = runner.run_matrix(
+            programs=programs, machines=machines, variants=variants,
+            width=size, jobs=jobs, progress=progress,
+        )
+    except (ReproError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    out = args.out or f"BENCH_{args.tag}.json"
+    document = runner.make_run_document(
+        records, tag=args.tag, jobs=jobs, width=size,
+    )
+    runner.save_run(document, out)
+    print(f"wrote {len(records)} records to {out}", file=sys.stderr)
+
+    if args.stats:
+        print(runner.format_stats(records))
+
+    bad_output = [r for r in records if not r["output_ok"]]
+    if bad_output:
+        print(
+            f"error: {len(bad_output)} records produced wrong output",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.compare:
+        tolerance = (
+            args.tolerance if args.tolerance is not None
+            else runner.default_tolerance()
+        )
+        try:
+            baseline = runner.load_run(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        rows = runner.compare_runs(records, baseline, tolerance)
+        print(runner.format_compare_table(rows, tolerance))
+        if not runner.gate_passed(rows):
+            return 1
+    return 0
+
+
 def cmd_machines(args) -> int:
     from repro import get_machine
 
@@ -276,6 +380,59 @@ def main(argv=None) -> int:
     p_tables.add_argument("--machine", dest="machine_filter", default=None)
     p_tables.add_argument("--size", type=int, default=48)
     p_tables.set_defaults(func=cmd_tables)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the benchmark matrix, persist/compare baselines",
+    )
+    p_bench.add_argument(
+        "--programs", default=None,
+        help="comma-separated benchmark names (default: all)",
+    )
+    p_bench.add_argument(
+        "--machines", default=None,
+        help="comma-separated machine names or 'all'",
+    )
+    p_bench.add_argument(
+        "--variants", default=None,
+        help="comma-separated column names "
+             "(cc,vpo,coalesce-loads,coalesce-all)",
+    )
+    p_bench.add_argument(
+        "--size", type=int, default=None,
+        help="image width=height (default 48; 16 with --quick)",
+    )
+    p_bench.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: $BENCH_JOBS or 1)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="the CI smoke tier: alpha only, 16x16 images",
+    )
+    p_bench.add_argument(
+        "--tag", default="run",
+        help="baseline tag; the run is written to BENCH_<tag>.json",
+    )
+    p_bench.add_argument(
+        "--out", default=None,
+        help="output path (overrides the --tag naming)",
+    )
+    p_bench.add_argument(
+        "--compare", default=None, metavar="BASELINE.json",
+        help="diff against a stored baseline; non-zero exit on "
+             "regression past the tolerance",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed cycle growth in percent "
+             "(default: $BENCH_TOLERANCE or 2.0)",
+    )
+    p_bench.add_argument(
+        "--stats", action="store_true",
+        help="print aggregated per-phase compile/simulate timings",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     p_machines = sub.add_parser("machines", help="list machine models")
     p_machines.set_defaults(func=cmd_machines)

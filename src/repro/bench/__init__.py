@@ -3,15 +3,30 @@
 ``programs`` holds the MiniC sources of the paper's Table I benchmark set
 (plus the Figure 1 dot product), ``workloads`` generates inputs and golden
 outputs, ``harness`` compiles/runs one benchmark under one configuration,
-and ``tables`` regenerates the paper's tables.
+``tables`` regenerates the paper's tables, ``cache`` persists finished
+compilations across processes, and ``runner`` fans the measurement matrix
+out over worker processes, stores ``BENCH_<tag>.json`` baselines and
+implements the CI regression gate.
 """
 
 from repro.bench.programs import BENCHMARKS, BenchmarkProgram, get_benchmark
+from repro.bench.cache import CompileCache, cached_compile_minic
 from repro.bench.harness import (
     BenchResult,
     COLUMN_CONFIGS,
     run_benchmark,
     machine_overrides,
+)
+from repro.bench.runner import (
+    BenchSpec,
+    ComparisonRow,
+    compare_runs,
+    format_compare_table,
+    gate_passed,
+    load_run,
+    make_run_document,
+    run_matrix,
+    save_run,
 )
 from repro.bench.tables import (
     TableRow,
@@ -23,13 +38,24 @@ from repro.bench.tables import (
 __all__ = [
     "BENCHMARKS",
     "BenchResult",
+    "BenchSpec",
     "BenchmarkProgram",
     "COLUMN_CONFIGS",
+    "ComparisonRow",
+    "CompileCache",
     "TableRow",
+    "cached_compile_minic",
+    "compare_runs",
+    "format_compare_table",
     "format_table",
+    "gate_passed",
     "get_benchmark",
+    "load_run",
     "machine_overrides",
+    "make_run_document",
     "run_benchmark",
+    "run_matrix",
+    "save_run",
     "table1_rows",
     "table_rows",
 ]

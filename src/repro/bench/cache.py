@@ -1,0 +1,268 @@
+"""Disk-backed compile-session cache.
+
+Compiling one benchmark column takes seconds of pure-Python work
+(front end, dataflow, unrolling, coalescing, lowering, scheduling);
+simulating it takes milliseconds.  Because the final module round-trips
+through the RTL text format bit-for-bit (``format_module`` /
+``parse_module``), a finished compilation can be persisted and revived
+in a later process, skipping the whole frontend/opt/lowering path.
+
+A cache entry is keyed by the SHA-256 of four things:
+
+* the MiniC **source text**,
+* the **machine** name,
+* the full **pipeline config** (every ``PipelineConfig`` field),
+* the **pass-list fingerprint** — a hash over the contents of every
+  Python file that participates in compilation (``pipeline.py`` plus the
+  ``frontend``, ``ir``, ``analysis``, ``opt``, ``coalesce``, ``machine``
+  and ``sched`` packages), so editing any pass invalidates every entry.
+
+Entries are JSON files written atomically (temp file + ``os.replace``);
+a corrupted or stale entry is treated as a miss and deleted.  The cache
+lives in ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-compile``) and
+is disabled entirely by ``REPRO_CACHE=off``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.coalesce import CoalesceReport
+from repro.ir.printer import format_module
+from repro.machine import MachineDescription, get_machine
+from repro.pipeline import (
+    CompiledProgram,
+    PipelineConfig,
+    compile_minic,
+    get_config,
+)
+
+CACHE_SCHEMA = 1
+
+#: Package subtrees whose source text participates in compilation.  The
+#: sim/ and sanitize/ trees are deliberately absent: they run *after*
+#: compilation and do not affect the cached module.
+_COMPILE_TREES = (
+    "frontend", "ir", "analysis", "opt", "coalesce", "machine", "sched",
+)
+
+
+@lru_cache(maxsize=1)
+def pass_fingerprint() -> str:
+    """Hash of every compiler source file; changes when any pass does."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    files = [root / "pipeline.py", root / "errors.py"]
+    for tree in _COMPILE_TREES:
+        files.extend(sorted((root / tree).rglob("*.py")))
+    for path in files:
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def config_fingerprint(config: PipelineConfig) -> str:
+    """Stable serialization of every pipeline knob."""
+    return json.dumps(asdict(config), sort_keys=True)
+
+
+def cache_key(
+    source: str,
+    machine_name: str,
+    config: PipelineConfig,
+    fingerprint: Optional[str] = None,
+) -> str:
+    """The cache key for one (source, machine, config) compilation."""
+    if fingerprint is None:
+        fingerprint = pass_fingerprint()
+    blob = "\x00".join(
+        (
+            f"schema={CACHE_SCHEMA}",
+            f"passes={fingerprint}",
+            f"machine={machine_name}",
+            f"config={config_fingerprint(config)}",
+            source,
+        )
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class CompileCache:
+    """One directory of JSON-serialized compilations."""
+
+    def __init__(self, directory: Union[str, Path, None] = None):
+        if directory is None:
+            directory = os.environ.get("REPRO_CACHE_DIR") or (
+                Path.home() / ".cache" / "repro-compile"
+            )
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # -- raw payload access -------------------------------------------------
+    def lookup(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or None (corrupt files are
+        removed and reported as misses)."""
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != CACHE_SCHEMA:
+                raise ValueError("schema mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, OSError):
+            # Corrupted or unreadable entry: drop it and recompile.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload``; I/O failures are non-fatal."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.directory), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "on").lower() not in (
+        "off", "0", "false", "no",
+    )
+
+
+_default_cache: Optional[CompileCache] = None
+
+
+def default_cache() -> Optional[CompileCache]:
+    """The process-wide cache, or None when REPRO_CACHE=off."""
+    global _default_cache
+    if not cache_enabled():
+        return None
+    if (
+        _default_cache is None
+        or str(_default_cache.directory)
+        != str(CompileCache().directory)
+    ):
+        _default_cache = CompileCache()
+    return _default_cache
+
+
+# -- (de)serialization ------------------------------------------------------
+def serialize_program(program: CompiledProgram) -> dict:
+    """The JSON payload for one finished compilation."""
+    return {
+        "schema": CACHE_SCHEMA,
+        "module_name": program.module.name,
+        "module": format_module(program.module),
+        "machine": program.machine.name,
+        "coalesce_reports": [asdict(r) for r in program.coalesce_reports],
+        "pass_stats": program.pass_stats,
+    }
+
+
+def revive_program(
+    payload: dict,
+    machine: MachineDescription,
+    config: PipelineConfig,
+) -> Optional[CompiledProgram]:
+    """Rebuild a CompiledProgram from a payload; None if it is unusable."""
+    from repro.ir.parser import parse_module
+
+    try:
+        module = parse_module(
+            payload["module"], name=payload.get("module_name", "module")
+        )
+        reports = []
+        for entry in payload.get("coalesce_reports", []):
+            entry = dict(entry)
+            entry["rejections"] = [
+                tuple(pair) for pair in entry.get("rejections", [])
+            ]
+            reports.append(CoalesceReport(**entry))
+        stats: Dict[str, Dict[str, float]] = payload.get("pass_stats", {})
+    except Exception:
+        return None
+    return CompiledProgram(
+        module, machine, config,
+        coalesce_reports=reports,
+        pass_stats=stats,
+        cache_hit=True,
+    )
+
+
+def cached_compile_minic(
+    source: str,
+    machine: Union[str, MachineDescription] = "alpha",
+    config: Union[str, PipelineConfig, None] = None,
+    cache: Optional[CompileCache] = None,
+    **overrides,
+) -> CompiledProgram:
+    """``compile_minic`` with the disk cache wrapped around it.
+
+    Sanitizer/differential configurations are never cached: their value
+    is in the diagnostics, which re-running the passes produces and a
+    cache hit would silently drop.
+    """
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    config = get_config(config, **overrides)
+    if cache is None:
+        cache = default_cache()
+    if cache is None or config.sanitize or config.differential:
+        return compile_minic(source, machine, config)
+
+    key = cache_key(source, machine.name, config)
+    payload = cache.lookup(key)
+    if payload is not None:
+        program = revive_program(payload, machine, config)
+        if program is not None:
+            return program
+    program = compile_minic(source, machine, config)
+    cache.store(key, serialize_program(program))
+    return program

@@ -18,13 +18,15 @@ applied anyway.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.programs import get_benchmark
 from repro.bench import workloads
-from repro.pipeline import CompiledProgram, compile_minic
+from repro.bench.cache import cached_compile_minic
+from repro.pipeline import CompiledProgram
 from repro.sim import Simulator
 
 COLUMN_CONFIGS: Dict[str, Tuple[str, Dict[str, object]]] = {
@@ -60,6 +62,16 @@ class BenchResult:
     output_ok: bool
     coalesced_loops: int
     result: Optional[int] = None
+    loads: int = 0
+    stores: int = 0
+    dcache_misses: int = 0
+    icache_misses: int = 0
+    compile_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    compile_cache_hit: bool = False
+    # stage name -> seconds, from CompiledProgram.pass_stats (describes
+    # the original compilation when compile_cache_hit is True)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def __repr__(self) -> str:
         return (
@@ -77,7 +89,7 @@ def _compile(
     merged = dict(machine_overrides(machine))
     merged.update(overrides)
     merged.update(dict(extra))
-    return compile_minic(program.source, machine, preset, **merged)
+    return cached_compile_minic(program.source, machine, preset, **merged)
 
 
 def compile_benchmark(
@@ -97,9 +109,13 @@ def run_benchmark(
     **extra,
 ) -> BenchResult:
     """Compile, stage inputs, simulate, verify and measure one benchmark."""
+    compile_started = time.perf_counter()
     compiled = compile_benchmark(name, machine, column, **extra)
+    compile_seconds = time.perf_counter() - compile_started
+    sim_started = time.perf_counter()
     sim = compiled.simulator()
     result, ok = _stage_and_run(name, sim, width, height, check)
+    sim_seconds = time.perf_counter() - sim_started
     report = sim.report()
     return BenchResult(
         benchmark=name,
@@ -114,6 +130,17 @@ def run_benchmark(
         output_ok=ok,
         coalesced_loops=compiled.coalesced_loops,
         result=result,
+        loads=report.load_count,
+        stores=report.store_count,
+        dcache_misses=report.dcache_misses,
+        icache_misses=report.icache_misses,
+        compile_seconds=compile_seconds,
+        sim_seconds=sim_seconds,
+        compile_cache_hit=compiled.cache_hit,
+        phase_seconds={
+            stage: stats["seconds"]
+            for stage, stats in compiled.pass_stats.items()
+        },
     )
 
 

@@ -1,0 +1,385 @@
+"""Parallel benchmark runner, persisted baselines, and the regression gate.
+
+Three layers on top of :mod:`repro.bench.harness`:
+
+* :func:`run_matrix` fans the program × machine × variant simulation
+  matrix out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``--jobs N`` / ``BENCH_JOBS``).  Results are merged deterministically
+  (sorted by program, machine, variant), so the measured cycle counts of
+  a ``--jobs 4`` run are identical to a ``--jobs 1`` run — only the
+  wall-clock fields differ.
+* :func:`save_run` / :func:`load_run` persist a run to ``BENCH_<tag>.json``
+  with a versioned schema (see :data:`RUN_SCHEMA`): per-record program,
+  machine, variant, simulated cycles, loads/stores (and how many the
+  variant eliminated vs ``vpo``), cache misses, wall-clock and per-phase
+  compile timings, plus run-level metadata (git SHA, image size, jobs).
+* :func:`compare_runs` diffs a fresh run against a stored baseline and
+  :func:`format_compare_table` renders the regression table the CI gate
+  prints; cycles past the tolerance (or a record missing from the
+  baseline) make the gate fail.
+
+Workers share the on-disk compile-session cache (:mod:`repro.bench.cache`),
+so a warm matrix run spends its time simulating, not recompiling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import COLUMNS, run_benchmark
+from repro.bench.programs import BENCHMARKS, TABLE_ORDER
+
+RUN_SCHEMA = 1
+
+#: Default regression tolerance, percent of baseline cycles.  Simulated
+#: cycles are deterministic, so this only needs to absorb intentional
+#: noise-level changes; BENCH_TOLERANCE overrides it.
+DEFAULT_TOLERANCE = 2.0
+
+#: The quick tier CI smokes on: every program, the Alpha only, small
+#: images.  The full tier covers all three machines at 48×48.
+QUICK_SIZE = 16
+QUICK_MACHINES = ("alpha",)
+FULL_SIZE = 48
+ALL_MACHINES = ("alpha", "m88100", "m68030")
+
+#: Default program set: the Table II/III programs plus Figure 1's
+#: dotproduct (every program the harness can stage).
+ALL_PROGRAMS = tuple(TABLE_ORDER) + tuple(
+    name for name in sorted(BENCHMARKS) if name not in TABLE_ORDER
+)
+
+
+def default_jobs() -> int:
+    """``BENCH_JOBS`` or 1 (serial)."""
+    try:
+        return max(1, int(os.environ.get("BENCH_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def default_tolerance() -> float:
+    try:
+        return float(os.environ.get("BENCH_TOLERANCE", DEFAULT_TOLERANCE))
+    except ValueError:
+        return DEFAULT_TOLERANCE
+
+
+def git_sha() -> str:
+    """The repository HEAD, or 'unknown' outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+@dataclass(frozen=True, order=True)
+class BenchSpec:
+    """One cell of the measurement matrix."""
+
+    program: str
+    machine: str
+    variant: str
+    width: int
+    height: int
+
+
+def build_matrix(
+    programs: Sequence[str],
+    machines: Sequence[str],
+    variants: Sequence[str],
+    width: int,
+    height: int,
+) -> List[BenchSpec]:
+    """Every (program, machine, variant) cell, in deterministic order."""
+    return sorted(
+        BenchSpec(p, m, v, width, height)
+        for p in programs for m in machines for v in variants
+    )
+
+
+def _run_spec(spec: BenchSpec) -> Dict[str, object]:
+    """Measure one cell; must stay module-level (pickled to workers)."""
+    started = time.perf_counter()
+    result = run_benchmark(
+        spec.program, spec.machine, spec.variant,
+        width=spec.width, height=spec.height,
+    )
+    wall = time.perf_counter() - started
+    return {
+        "program": spec.program,
+        "machine": spec.machine,
+        "variant": spec.variant,
+        "width": spec.width,
+        "height": spec.height,
+        "cycles": result.cycles,
+        "base_cycles": result.base_cycles,
+        "dcache_miss_cycles": result.dcache_miss_cycles,
+        "icache_miss_cycles": result.icache_miss_cycles,
+        "dcache_misses": result.dcache_misses,
+        "icache_misses": result.icache_misses,
+        "instr_count": result.instr_count,
+        "loads": result.loads,
+        "stores": result.stores,
+        "memory_accesses": result.memory_accesses,
+        "output_ok": result.output_ok,
+        "coalesced_loops": result.coalesced_loops,
+        "wall_seconds": round(wall, 6),
+        "compile_seconds": round(result.compile_seconds, 6),
+        "sim_seconds": round(result.sim_seconds, 6),
+        "compile_cache_hit": result.compile_cache_hit,
+        "phase_seconds": {
+            stage: round(seconds, 6)
+            for stage, seconds in sorted(result.phase_seconds.items())
+        },
+    }
+
+
+def _annotate_eliminated(records: List[Dict[str, object]]) -> None:
+    """Add loads/stores-eliminated-vs-vpo to every record in place."""
+    vpo: Dict[Tuple[str, str], Dict[str, object]] = {
+        (r["program"], r["machine"]): r
+        for r in records if r["variant"] == "vpo"
+    }
+    for record in records:
+        base = vpo.get((record["program"], record["machine"]))
+        if base is None:
+            record["loads_eliminated"] = 0
+            record["stores_eliminated"] = 0
+        else:
+            record["loads_eliminated"] = base["loads"] - record["loads"]
+            record["stores_eliminated"] = (
+                base["stores"] - record["stores"]
+            )
+
+
+def run_matrix(
+    programs: Optional[Sequence[str]] = None,
+    machines: Optional[Sequence[str]] = None,
+    variants: Optional[Sequence[str]] = None,
+    width: int = FULL_SIZE,
+    height: Optional[int] = None,
+    jobs: Optional[int] = None,
+    progress=None,
+) -> List[Dict[str, object]]:
+    """Measure the whole matrix; returns records sorted deterministically.
+
+    ``jobs > 1`` fans the cells out across worker processes; each worker
+    compiles through the shared disk cache, so concurrent workers never
+    repeat each other's compilations across runs.  ``progress`` (if
+    given) is called with each finished record.
+    """
+    specs = build_matrix(
+        programs or ALL_PROGRAMS,
+        machines or ALL_MACHINES,
+        variants or COLUMNS,
+        width,
+        height if height is not None else width,
+    )
+    jobs = jobs if jobs is not None else default_jobs()
+    records: List[Dict[str, object]] = []
+    if jobs <= 1 or len(specs) <= 1:
+        for spec in specs:
+            record = _run_spec(spec)
+            records.append(record)
+            if progress:
+                progress(record)
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for record in pool.map(_run_spec, specs):
+                records.append(record)
+                if progress:
+                    progress(record)
+    records.sort(
+        key=lambda r: (r["program"], r["machine"], r["variant"])
+    )
+    _annotate_eliminated(records)
+    return records
+
+
+# -- baseline store ---------------------------------------------------------
+def make_run_document(
+    records: List[Dict[str, object]],
+    tag: str = "run",
+    jobs: int = 1,
+    width: int = FULL_SIZE,
+    height: Optional[int] = None,
+) -> Dict[str, object]:
+    return {
+        "schema": RUN_SCHEMA,
+        "tag": tag,
+        "created_unix": int(time.time()),
+        "git_sha": git_sha(),
+        "width": width,
+        "height": height if height is not None else width,
+        "jobs": jobs,
+        "records": records,
+    }
+
+
+def save_run(document: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_run(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("schema") != RUN_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported baseline schema "
+            f"{document.get('schema')!r} (want {RUN_SCHEMA})"
+        )
+    return document
+
+
+# -- regression gate --------------------------------------------------------
+@dataclass
+class ComparisonRow:
+    """One record of the current run diffed against the baseline."""
+
+    program: str
+    machine: str
+    variant: str
+    baseline_cycles: Optional[int]
+    current_cycles: int
+    status: str  # 'ok' | 'improved' | 'regression' | 'missing'
+
+    @property
+    def delta_percent(self) -> Optional[float]:
+        if not self.baseline_cycles:
+            return None
+        return (
+            (self.current_cycles - self.baseline_cycles)
+            * 100.0 / self.baseline_cycles
+        )
+
+
+def compare_runs(
+    current: List[Dict[str, object]],
+    baseline: Dict[str, object],
+    tolerance: Optional[float] = None,
+) -> List[ComparisonRow]:
+    """Diff current records against a baseline document.
+
+    A record whose cycles exceed the baseline by more than ``tolerance``
+    percent is a regression; one absent from the baseline is 'missing'
+    (the baseline needs regenerating) — both fail the gate.  Baseline
+    records with no current counterpart are ignored: the gate may
+    legitimately measure a subset (e.g. ``--quick``).
+    """
+    if tolerance is None:
+        tolerance = default_tolerance()
+    by_key = {
+        (
+            r["program"], r["machine"], r["variant"],
+            r.get("width"), r.get("height"),
+        ): r
+        for r in baseline.get("records", [])
+    }
+    rows: List[ComparisonRow] = []
+    for record in current:
+        key = (
+            record["program"], record["machine"], record["variant"],
+            record.get("width"), record.get("height"),
+        )
+        base = by_key.get(key)
+        if base is None:
+            status, base_cycles = "missing", None
+        else:
+            base_cycles = base["cycles"]
+            delta = (
+                (record["cycles"] - base_cycles) * 100.0 / base_cycles
+                if base_cycles else 0.0
+            )
+            if delta > tolerance:
+                status = "regression"
+            elif delta < 0:
+                status = "improved"
+            else:
+                status = "ok"
+        rows.append(
+            ComparisonRow(
+                program=record["program"],
+                machine=record["machine"],
+                variant=record["variant"],
+                baseline_cycles=base_cycles,
+                current_cycles=record["cycles"],
+                status=status,
+            )
+        )
+    return rows
+
+
+def gate_passed(rows: Iterable[ComparisonRow]) -> bool:
+    return all(row.status in ("ok", "improved") for row in rows)
+
+
+def format_compare_table(
+    rows: List[ComparisonRow], tolerance: float
+) -> str:
+    header = (
+        f"{'Program':<14} {'Machine':<8} {'Variant':<15} "
+        f"{'Baseline':>10} {'Current':>10} {'Delta %':>8}  Status"
+    )
+    lines = [
+        f"Regression gate (tolerance {tolerance:+.2f}% cycles)",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        base = (
+            str(row.baseline_cycles)
+            if row.baseline_cycles is not None else "-"
+        )
+        delta = (
+            f"{row.delta_percent:+8.2f}"
+            if row.delta_percent is not None else f"{'-':>8}"
+        )
+        lines.append(
+            f"{row.program:<14} {row.machine:<8} {row.variant:<15} "
+            f"{base:>10} {row.current_cycles:>10} {delta}  {row.status}"
+        )
+    bad = [r for r in rows if r.status not in ("ok", "improved")]
+    lines.append(
+        "gate: PASS"
+        if not bad else
+        f"gate: FAIL ({len(bad)} of {len(rows)} records "
+        "regressed or missing from baseline)"
+    )
+    return "\n".join(lines)
+
+
+def format_stats(records: List[Dict[str, object]]) -> str:
+    """Aggregate per-phase compile timing plus simulate/compile totals."""
+    phases: Dict[str, float] = {}
+    compile_total = sim_total = 0.0
+    hits = 0
+    for record in records:
+        compile_total += record["compile_seconds"]
+        sim_total += record["sim_seconds"]
+        hits += 1 if record["compile_cache_hit"] else 0
+        for stage, seconds in record["phase_seconds"].items():
+            phases[stage] = phases.get(stage, 0.0) + seconds
+    lines = [
+        f"{len(records)} records: compile {compile_total:.2f}s "
+        f"({hits} cache hits), simulate {sim_total:.2f}s",
+        "per-phase compile time (as-compiled, cached entries included):",
+    ]
+    for stage in sorted(phases, key=phases.get, reverse=True):
+        lines.append(f"  {stage:20s} {phases[stage] * 1000:10.1f} ms")
+    return "\n".join(lines)

@@ -114,6 +114,10 @@ class CompiledProgram:
     diagnostics: List[object] = field(default_factory=list)
     # pass/stage name -> {"runs", "changed", "seconds"}
     pass_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    # True when this program was revived from the compile-session cache
+    # (repro.bench.cache) instead of being compiled in this process; its
+    # pass_stats then describe the original compilation.
+    cache_hit: bool = False
 
     def simulator(self, **kwargs) -> Simulator:
         return Simulator(self.module, self.machine, **kwargs)
@@ -138,7 +142,9 @@ def compile_minic(
         machine = get_machine(machine)
     config = get_config(config, **overrides)
 
+    frontend_started = time.perf_counter()
     module = compile_source(source, word_bytes=machine.word_bytes)
+    frontend_seconds = time.perf_counter() - frontend_started
     if config.verify:
         verify_module(module)
 
@@ -157,6 +163,7 @@ def compile_minic(
         machine, verify=config.verify,
         sink=sink, differential=config.differential,
     )
+    ctx.record_pass("frontend", True, frontend_seconds)
     reports: List[CoalesceReport] = []
 
     def stage(func: Function, name: str, thunk) -> object:

@@ -12,6 +12,7 @@ the interface the benchmark harness and the examples use::
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Sequence
 
 from repro.errors import SimulationError
@@ -58,6 +59,9 @@ class Simulator:
             raise SimulationError(f"unknown engine {engine!r}")
         self._arrays: Dict[str, int] = {}
         self._stagger_counter = 0
+        # Host wall-clock spent inside call(), accumulated across calls;
+        # the bench runner's profiling hooks read this.
+        self.wall_seconds = 0.0
 
     # -- data staging -------------------------------------------------------
     def alloc_array(
@@ -127,7 +131,11 @@ class Simulator:
 
     # -- execution -------------------------------------------------------------
     def call(self, name: str, *args: int) -> Optional[int]:
-        return self.engine.call(name, *args)
+        started = time.perf_counter()
+        try:
+            return self.engine.call(name, *args)
+        finally:
+            self.wall_seconds += time.perf_counter() - started
 
     def block_count(self, func_name: str, label: str) -> int:
         """How many times a block executed (drives fallback-path tests)."""

@@ -1,69 +1,18 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Everything is defined once in :mod:`repro.testing` and shared with
+``benchmarks/conftest.py`` so the two suites cannot drift.
+"""
 
 from __future__ import annotations
 
-import pytest
-
-from repro.machine import get_machine
-from repro.pipeline import compile_minic
-from repro.sim import Simulator
-
-MACHINE_NAMES = ("alpha", "m88100", "m68030")
-
-
-@pytest.fixture(params=MACHINE_NAMES)
-def machine(request):
-    """Each of the three evaluation machines."""
-    return get_machine(request.param)
-
-
-@pytest.fixture
-def alpha():
-    return get_machine("alpha")
-
-
-@pytest.fixture
-def m88100():
-    return get_machine("m88100")
-
-
-@pytest.fixture
-def m68030():
-    return get_machine("m68030")
-
-
-def signed(value: int, bits: int) -> int:
-    """Two's complement interpretation of a machine word."""
-    if value >= 1 << (bits - 1):
-        value -= 1 << bits
-    return value
-
-
-def run_minic(
-    source: str,
-    entry: str,
-    args,
-    machine_name: str = "alpha",
-    config: str = "vpo",
-    arrays=None,
-    **overrides,
-):
-    """Compile and run a MiniC snippet; returns (signed result, simulator).
-
-    ``arrays`` is a list of (name, width, values) staged before the call;
-    their addresses are substituted for string placeholders in ``args``
-    (an arg equal to the array's name becomes its address).
-    """
-    program = compile_minic(source, machine_name, config, **overrides)
-    sim = program.simulator()
-    addresses = {}
-    for name, width, values in arrays or []:
-        addr = sim.alloc_array(name, size=max(len(values), 1) * width)
-        sim.write_words(addr, values, width)
-        addresses[name] = addr
-    resolved = [addresses.get(a, a) if isinstance(a, str) else a
-                for a in args]
-    result = sim.call(entry, *resolved)
-    if result is not None:
-        result = signed(result, program.machine.word_bits)
-    return result, sim
+from repro.testing import (  # noqa: F401  (re-exported fixtures/helpers)
+    MACHINE_NAMES,
+    alpha,
+    bench_size,
+    m68030,
+    m88100,
+    machine,
+    run_minic,
+    signed,
+)
