@@ -35,6 +35,7 @@ Quickstart::
 
 from repro.errors import (
     AlignmentTrap,
+    FaultInjected,
     IRError,
     LintError,
     LoweringError,
@@ -43,6 +44,7 @@ from repro.errors import (
     ReproError,
     SemanticError,
     SimulationError,
+    SimulationTimeout,
 )
 from repro.machine import MACHINE_NAMES, get_machine
 from repro.pipeline import (
@@ -59,6 +61,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AlignmentTrap",
     "CompiledProgram",
+    "FaultInjected",
     "IRError",
     "LintError",
     "LoweringError",
@@ -70,6 +73,7 @@ __all__ = [
     "ReproError",
     "SemanticError",
     "SimulationError",
+    "SimulationTimeout",
     "Simulator",
     "__version__",
     "compile_and_run",

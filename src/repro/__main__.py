@@ -9,6 +9,13 @@ Commands:
 * ``bench`` — run the benchmark matrix in parallel, persist a
   ``BENCH_<tag>.json`` baseline, and/or gate against one.
 * ``machines`` — list the supported machine models.
+* ``replay BUNDLE`` — re-run a crash bundle's compilation and check the
+  recorded failure recurs.
+* ``bisect BUNDLE`` — pin the minimal failing pass set and shrink the
+  bundle's source, bugpoint-style.
+* ``chaos FILES...`` — inject one fault into every pipeline stage in
+  turn and verify each compilation recovers and still behaves like the
+  unoptimized baseline.
 
 Examples::
 
@@ -20,6 +27,11 @@ Examples::
     python -m repro tables --machine alpha --size 48
     python -m repro bench --jobs 4 --tag nightly
     python -m repro bench --quick --compare BENCH_seed.json
+    python -m repro compile kernel.c --inject unroll=raise \\
+        --on-pass-failure skip --crash-dir ./crashes
+    python -m repro replay crashes/repro_crash_1a2b3c4d5e6f
+    python -m repro bisect crashes/repro_crash_1a2b3c4d5e6f
+    python -m repro chaos examples/*.c --seed 1234
 """
 
 from __future__ import annotations
@@ -56,21 +68,48 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--regalloc", action="store_true",
         help="bind virtual registers to the machine register file",
     )
+    parser.add_argument(
+        "--on-pass-failure", default=None,
+        choices=("raise", "skip", "fallback"),
+        help="recovery policy when a pass crashes/corrupts/miscompiles: "
+             "raise (default), skip (roll back and continue), fallback "
+             "(roll back and disable the pass)",
+    )
+    parser.add_argument(
+        "--inject", default=None, metavar="PLAN",
+        help="fault-injection plan, e.g. 'unroll=raise,coalesce=corrupt@2'"
+             " or 'seed=42,rate=0.25,kinds=raise|corrupt'",
+    )
+    parser.add_argument(
+        "--crash-dir", default=None, metavar="DIR",
+        help="write a replayable repro_crash_<hash>/ bundle for every "
+             "recovered pass failure into DIR",
+    )
 
 
 def _compile_from_args(args, **extra) -> object:
+    from repro.resilience.faults import FaultPlan
+
     with open(args.file) as handle:
         source = handle.read()
-    return compile_minic(
+    if getattr(args, "on_pass_failure", None) is not None:
+        extra.setdefault("on_pass_failure", args.on_pass_failure)
+    program = compile_minic(
         source,
         args.machine,
         args.config,
+        faults=FaultPlan.parse(getattr(args, "inject", None)),
+        crash_dir=getattr(args, "crash_dir", None),
         unroll_factor=args.unroll_factor,
         force_coalesce=args.force_coalesce,
         unaligned_loads=args.unaligned_loads,
         regalloc=args.regalloc,
         **extra,
     )
+    for failure in program.pass_failures:
+        where = f" [{failure.bundle}]" if failure.bundle else ""
+        print(f"recovered: {failure.describe()}{where}", file=sys.stderr)
+    return program
 
 
 def cmd_compile(args) -> int:
@@ -84,7 +123,7 @@ def cmd_compile(args) -> int:
 
 def cmd_run(args) -> int:
     program = _compile_from_args(args)
-    sim = program.simulator()
+    sim = program.simulator(max_steps=args.max_steps)
     addresses = {}
     for spec in args.array or []:
         name, width, values = spec.split(":", 2)
@@ -265,10 +304,19 @@ def cmd_bench(args) -> int:
         records = runner.run_matrix(
             programs=programs, machines=machines, variants=variants,
             width=size, jobs=jobs, progress=progress,
+            cell_timeout=args.cell_timeout,
         )
     except (ReproError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    failed = [r for r in records if r.get("status", "ok") != "ok"]
+    for record in failed:
+        print(
+            f"failed cell {record['program']}/{record['machine']}/"
+            f"{record['variant']}: {record['error']}",
+            file=sys.stderr,
+        )
 
     out = args.out or f"BENCH_{args.tag}.json"
     document = runner.make_run_document(
@@ -280,7 +328,10 @@ def cmd_bench(args) -> int:
     if args.stats:
         print(runner.format_stats(records))
 
-    bad_output = [r for r in records if not r["output_ok"]]
+    bad_output = [
+        r for r in records
+        if r.get("status", "ok") == "ok" and not r["output_ok"]
+    ]
     if bad_output:
         print(
             f"error: {len(bad_output)} records produced wrong output",
@@ -302,7 +353,194 @@ def cmd_bench(args) -> int:
         print(runner.format_compare_table(rows, tolerance))
         if not runner.gate_passed(rows):
             return 1
+    elif failed:
+        print(
+            f"error: {len(failed)} cells failed to measure",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.errors import ReproError
+    from repro.resilience.bundle import load_bundle, replay_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+        result = replay_bundle(bundle)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.describe())
+    return 0 if result.reproduced else 1
+
+
+def cmd_bisect(args) -> int:
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.resilience.bisect import bisect_bundle
+    from repro.resilience.bundle import load_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+        result = bisect_bundle(
+            bundle,
+            reduce=not args.no_reduce,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.describe())
+    if result.reduced_source is not None:
+        out = Path(bundle.path) / "reduced.c"
+        out.write_text(result.reduced_source)
+        print(f"reduced source written to {out}")
+    return 0 if result.culprit else 1
+
+
+#: Stages the chaos sweep plants one fault into, in pipeline order.
+CHAOS_SITES = (
+    "cleanup", "licm", "strength_reduce", "unroll",
+    "coalesce", "lower", "schedule",
+)
+
+
+def cmd_chaos(args) -> int:
+    """Fault-injection smoke: one planted fault per stage per file.
+
+    For every input file and every pipeline stage, compile under the
+    recovery policy with one fault injected into that stage, then check
+    (a) the compilation survived, (b) every fired fault was recovered
+    (and produced a bundle that replays), and (c) the degraded program
+    still behaves like the unoptimized baseline on the differential
+    sanitizer's fixtures.
+    """
+    import hashlib
+    import tempfile
+
+    from repro.errors import ReproError
+    from repro.pipeline import compile_minic as compile_pipeline
+    from repro.resilience.bundle import replay_bundle
+    from repro.resilience.faults import FaultPlan
+    from repro.sanitize.differential import make_fixtures, run_fixture
+
+    crash_dir = args.crash_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    problems = []
+    checked = recovered = 0
+
+    for path in args.files:
+        with open(path) as handle:
+            source = handle.read()
+        try:
+            # An empty plan keeps a stray REPRO_FAULTS out of the baseline.
+            baseline = compile_pipeline(
+                source, args.machine, "naive", faults=FaultPlan()
+            )
+        except (ReproError, OSError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        fixtures = {
+            func.name: make_fixtures(func) for func in baseline.module
+        }
+        expected = {
+            name: [
+                run_fixture(baseline.module, name, baseline.machine, f)
+                for f in fixtures[name]
+            ]
+            for name in fixtures
+        }
+
+        for site in CHAOS_SITES:
+            # Deterministic kind choice: the seed decides raise vs
+            # corrupt per (file, site), so a sweep covers both.
+            digest = hashlib.sha256(
+                f"{args.seed}:{path}:{site}".encode()
+            ).digest()
+            kind = ("raise", "corrupt")[digest[0] % 2]
+            plan = FaultPlan.parse(f"{site}={kind}")
+            checked += 1
+            tag = f"{path}:{site}={kind}"
+            try:
+                program = compile_pipeline(
+                    source, args.machine, "coalesce-all",
+                    faults=plan, crash_dir=crash_dir,
+                    on_pass_failure=args.policy,
+                )
+            except Exception as exc:  # noqa: BLE001 — unrecovered = finding
+                problems.append(
+                    f"{tag}: UNRECOVERED {type(exc).__name__}: {exc}"
+                )
+                print(f"  {tag}: UNRECOVERED ({exc})", file=sys.stderr)
+                continue
+
+            notes = []
+            if plan.fired and not program.pass_failures:
+                notes.append("fault fired but no failure was recorded")
+            for failure in program.pass_failures:
+                if not failure.bundle:
+                    notes.append("no crash bundle was written")
+                    continue
+                replay = replay_bundle(failure.bundle)
+                if not replay.reproduced:
+                    notes.append(
+                        f"bundle {failure.bundle} did not replay"
+                    )
+            for name, outcomes in expected.items():
+                for fixture, want in zip(fixtures[name], outcomes):
+                    if want.status != "ok":
+                        continue  # inconclusive baseline
+                    got = run_fixture(
+                        program.module, name, program.machine, fixture
+                    )
+                    difference = want.diverges_from(got)
+                    if difference is not None:
+                        notes.append(
+                            f"behaviour diverged from baseline in "
+                            f"{name}{fixture.describe()}: {difference}"
+                        )
+                        break
+            if notes:
+                problems.extend(f"{tag}: {note}" for note in notes)
+                print(f"  {tag}: " + "; ".join(notes), file=sys.stderr)
+            else:
+                recovered += 1
+                if args.verbose:
+                    hit = "fired" if plan.fired else "did not fire"
+                    print(f"  {tag}: recovered ({hit})", file=sys.stderr)
+
+            if args.bisect:
+                for failure in program.pass_failures:
+                    if not failure.bundle:
+                        continue
+                    from repro.resilience.bisect import bisect_bundle
+                    from repro.resilience.bundle import load_bundle
+
+                    result = bisect_bundle(
+                        load_bundle(failure.bundle), reduce=True
+                    )
+                    if site not in result.culprit:
+                        problems.append(
+                            f"{tag}: bisect pinned {result.culprit} "
+                            f"instead of {site}"
+                        )
+                    elif args.verbose:
+                        print(
+                            f"  {tag}: bisect pinned "
+                            f"{', '.join(result.culprit)} in "
+                            f"{result.attempts} probes",
+                            file=sys.stderr,
+                        )
+
+    print(
+        f"chaos: {recovered}/{checked} injections fully recovered "
+        f"({len(problems)} problem(s)); bundles in {crash_dir}"
+    )
+    for problem in problems:
+        print(f"  {problem}")
+    return 1 if problems else 0
 
 
 def cmd_machines(args) -> int:
@@ -353,6 +591,11 @@ def main(argv=None) -> int:
     )
     p_run.add_argument("--dump", type=int, default=0,
                        help="dump first N elements of each array after")
+    p_run.add_argument(
+        "--max-steps", type=int, default=None,
+        help="simulator watchdog: abort with SimulationTimeout after N "
+             "executed instructions (default: $REPRO_MAX_STEPS or 200M)",
+    )
     _add_common(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -432,7 +675,58 @@ def main(argv=None) -> int:
         "--stats", action="store_true",
         help="print aggregated per-phase compile/simulate timings",
     )
+    p_bench.add_argument(
+        "--cell-timeout", type=float, default=None,
+        help="per-cell wall-clock budget in seconds before a cell is "
+             "marked failed (default: $BENCH_CELL_TIMEOUT or 600)",
+    )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_replay = sub.add_parser(
+        "replay", help="re-run a crash bundle's compilation"
+    )
+    p_replay.add_argument("bundle", help="a repro_crash_<hash>/ directory")
+    p_replay.set_defaults(func=cmd_replay)
+
+    p_bisect = sub.add_parser(
+        "bisect",
+        help="pin a bundle's failing pass set and shrink its source",
+    )
+    p_bisect.add_argument("bundle", help="a repro_crash_<hash>/ directory")
+    p_bisect.add_argument(
+        "--no-reduce", action="store_true",
+        help="skip the source-reduction phase",
+    )
+    p_bisect.set_defaults(func=cmd_bisect)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="inject one fault per pipeline stage and verify recovery",
+    )
+    p_chaos.add_argument("files", nargs="+", help="MiniC source files")
+    p_chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="decides raise-vs-corrupt per (file, stage); the sweep is "
+             "fully reproducible from this value",
+    )
+    p_chaos.add_argument(
+        "--machine", default="alpha", choices=sorted(MACHINE_NAMES),
+    )
+    p_chaos.add_argument(
+        "--policy", default="skip", choices=("skip", "fallback"),
+        help="recovery policy to test under (default: skip)",
+    )
+    p_chaos.add_argument(
+        "--crash-dir", default=None,
+        help="where bundles land (default: a fresh temp directory)",
+    )
+    p_chaos.add_argument(
+        "--bisect", action="store_true",
+        help="also bisect every written bundle and check it pins the "
+             "injected stage",
+    )
+    p_chaos.add_argument("--verbose", action="store_true")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_machines = sub.add_parser("machines", help="list machine models")
     p_machines.set_defaults(func=cmd_machines)

@@ -97,9 +97,19 @@ def cache_key(
 
 
 class CompileCache:
-    """One directory of JSON-serialized compilations."""
+    """One directory of JSON-serialized compilations.
 
-    def __init__(self, directory: Union[str, Path, None] = None):
+    Corruption is expected (interrupted writers, disk-full truncation,
+    concurrent benchmark workers): a torn or schema-mismatched entry is
+    logged to the diagnostic ``sink``, deleted, and treated as a miss —
+    never a crash, never a stale program.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path, None] = None,
+        sink=None,
+    ):
         if directory is None:
             directory = os.environ.get("REPRO_CACHE_DIR") or (
                 Path.home() / ".cache" / "repro-compile"
@@ -107,26 +117,51 @@ class CompileCache:
         self.directory = Path(directory)
         self.hits = 0
         self.misses = 0
+        if sink is None:
+            from repro.sanitize import DiagnosticSink
+
+            sink = DiagnosticSink()
+        self.sink = sink
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def _report_corrupt(self, path: Path, reason: str) -> None:
+        try:
+            self.sink.warning(
+                "compile-cache",
+                f"dropping corrupt cache entry {path.name}: {reason}",
+                hint="the entry is recompiled; if this recurs, delete "
+                     "the cache directory (REPRO_CACHE_DIR)",
+            )
+        except Exception:  # noqa: BLE001 — reporting must never break a miss
+            pass
+
     # -- raw payload access -------------------------------------------------
     def lookup(self, key: str) -> Optional[dict]:
         """The stored payload for ``key``, or None (corrupt files are
-        removed and reported as misses)."""
+        removed, logged, and reported as misses)."""
         path = self._path(key)
         try:
             with open(path) as handle:
                 payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
             if payload.get("schema") != CACHE_SCHEMA:
                 raise ValueError("schema mismatch")
+            # A truncated-then-concatenated or hand-edited entry can be
+            # valid JSON yet still unusable; check shape before reviving.
+            if not isinstance(payload.get("module"), str):
+                raise ValueError("missing or non-text 'module' field")
+            if not isinstance(payload.get("machine"), str):
+                raise ValueError("missing or non-text 'machine' field")
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (ValueError, OSError):
+        except (ValueError, OSError) as exc:
             # Corrupted or unreadable entry: drop it and recompile.
             self.misses += 1
+            self._report_corrupt(path, str(exc))
             try:
                 path.unlink()
             except OSError:
@@ -136,7 +171,13 @@ class CompileCache:
         return payload
 
     def store(self, key: str, payload: dict) -> None:
-        """Atomically persist ``payload``; I/O failures are non-fatal."""
+        """Atomically persist ``payload``; I/O failures are non-fatal.
+
+        The temp file is flushed and fsync'd before the rename, so a
+        crash mid-store leaves either no entry or a complete one — a
+        reader can never observe a half-written payload under the final
+        name.
+        """
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -145,6 +186,8 @@ class CompileCache:
             try:
                 with os.fdopen(fd, "w") as handle:
                     json.dump(payload, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp, self._path(key))
             except BaseException:
                 os.unlink(tmp)
@@ -153,13 +196,19 @@ class CompileCache:
             pass
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and stray temp files); returns how many
+        entries were removed."""
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for path in self.directory.glob("*.tmp"):
+                try:
+                    path.unlink()
                 except OSError:
                     pass
         return removed
@@ -247,14 +296,23 @@ def cached_compile_minic(
 
     Sanitizer/differential configurations are never cached: their value
     is in the diagnostics, which re-running the passes produces and a
-    cache hit would silently drop.
+    cache hit would silently drop.  Fault-isolated compilations
+    (``on_pass_failure != 'raise'`` or an active ``REPRO_FAULTS`` plan)
+    bypass the cache too: a degraded program must not be revived as if
+    it were the full compilation, and a hit would lose its
+    ``pass_failures``.
     """
     if isinstance(machine, str):
         machine = get_machine(machine)
     config = get_config(config, **overrides)
     if cache is None:
         cache = default_cache()
-    if cache is None or config.sanitize or config.differential:
+    if (
+        cache is None or config.sanitize or config.differential
+        or config.on_pass_failure != "raise"
+        or config.disabled_passes
+        or os.environ.get("REPRO_FAULTS")
+    ):
         return compile_minic(source, machine, config)
 
     key = cache_key(source, machine.name, config)

@@ -28,7 +28,11 @@ import json
 import os
 import subprocess
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -69,6 +73,23 @@ def default_tolerance() -> float:
         return float(os.environ.get("BENCH_TOLERANCE", DEFAULT_TOLERANCE))
     except ValueError:
         return DEFAULT_TOLERANCE
+
+
+#: Per-cell wall-clock budget (seconds) before a parallel run gives up on
+#: a worker and marks the cell failed; BENCH_CELL_TIMEOUT overrides.
+DEFAULT_CELL_TIMEOUT = 600.0
+
+
+def default_cell_timeout() -> float:
+    try:
+        return max(
+            1.0,
+            float(os.environ.get(
+                "BENCH_CELL_TIMEOUT", DEFAULT_CELL_TIMEOUT
+            )),
+        )
+    except ValueError:
+        return DEFAULT_CELL_TIMEOUT
 
 
 def git_sha() -> str:
@@ -141,6 +162,8 @@ def _run_spec(spec: BenchSpec) -> Dict[str, object]:
         "compile_seconds": round(result.compile_seconds, 6),
         "sim_seconds": round(result.sim_seconds, 6),
         "compile_cache_hit": result.compile_cache_hit,
+        "status": "ok",
+        "error": "",
         "phase_seconds": {
             stage: round(seconds, 6)
             for stage, seconds in sorted(result.phase_seconds.items())
@@ -148,15 +171,54 @@ def _run_spec(spec: BenchSpec) -> Dict[str, object]:
     }
 
 
+def _failed_record(spec: BenchSpec, error: str) -> Dict[str, object]:
+    """The record shape for a cell whose measurement died or timed out."""
+    return {
+        "program": spec.program,
+        "machine": spec.machine,
+        "variant": spec.variant,
+        "width": spec.width,
+        "height": spec.height,
+        "cycles": 0,
+        "base_cycles": 0,
+        "dcache_miss_cycles": 0,
+        "icache_miss_cycles": 0,
+        "dcache_misses": 0,
+        "icache_misses": 0,
+        "instr_count": 0,
+        "loads": 0,
+        "stores": 0,
+        "memory_accesses": 0,
+        "output_ok": False,
+        "coalesced_loops": 0,
+        "wall_seconds": 0.0,
+        "compile_seconds": 0.0,
+        "sim_seconds": 0.0,
+        "compile_cache_hit": False,
+        "status": "failed",
+        "error": error,
+        "phase_seconds": {},
+    }
+
+
+def _run_spec_safe(spec: BenchSpec) -> Dict[str, object]:
+    """Worker entry point: one crashed cell must not sink the matrix."""
+    try:
+        return _run_spec(spec)
+    except Exception as exc:  # noqa: BLE001 — any cell failure is recorded
+        return _failed_record(spec, f"{type(exc).__name__}: {exc}")
+
+
 def _annotate_eliminated(records: List[Dict[str, object]]) -> None:
     """Add loads/stores-eliminated-vs-vpo to every record in place."""
     vpo: Dict[Tuple[str, str], Dict[str, object]] = {
         (r["program"], r["machine"]): r
-        for r in records if r["variant"] == "vpo"
+        for r in records
+        if r["variant"] == "vpo" and r.get("status", "ok") == "ok"
     }
     for record in records:
         base = vpo.get((record["program"], record["machine"]))
-        if base is None:
+        if base is None or record.get("status", "ok") != "ok":
             record["loads_eliminated"] = 0
             record["stores_eliminated"] = 0
         else:
@@ -174,6 +236,7 @@ def run_matrix(
     height: Optional[int] = None,
     jobs: Optional[int] = None,
     progress=None,
+    cell_timeout: Optional[float] = None,
 ) -> List[Dict[str, object]]:
     """Measure the whole matrix; returns records sorted deterministically.
 
@@ -181,6 +244,11 @@ def run_matrix(
     compiles through the shared disk cache, so concurrent workers never
     repeat each other's compilations across runs.  ``progress`` (if
     given) is called with each finished record.
+
+    Fault tolerance: a cell that raises, kills its worker process, or
+    exceeds ``cell_timeout`` seconds (``BENCH_CELL_TIMEOUT``) becomes a
+    ``status='failed'`` record instead of aborting the run; the
+    regression gate treats such cells as failures.
     """
     specs = build_matrix(
         programs or ALL_PROGRAMS,
@@ -190,19 +258,50 @@ def run_matrix(
         height if height is not None else width,
     )
     jobs = jobs if jobs is not None else default_jobs()
+    if cell_timeout is None:
+        cell_timeout = default_cell_timeout()
     records: List[Dict[str, object]] = []
     if jobs <= 1 or len(specs) <= 1:
         for spec in specs:
-            record = _run_spec(spec)
+            record = _run_spec_safe(spec)
             records.append(record)
             if progress:
                 progress(record)
     else:
+        # Workers normally catch their own exceptions (_run_spec_safe);
+        # the parent-side handling below only fires for hard worker
+        # deaths (BrokenProcessPool) and the overall deadline.
+        deadline = time.monotonic() + cell_timeout * len(specs)
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for record in pool.map(_run_spec, specs):
-                records.append(record)
-                if progress:
-                    progress(record)
+            pending = {
+                pool.submit(_run_spec_safe, spec): spec for spec in specs
+            }
+            while pending:
+                done, _ = wait(
+                    pending,
+                    timeout=max(0.0, deadline - time.monotonic()),
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    for future, spec in pending.items():
+                        future.cancel()
+                        records.append(_failed_record(
+                            spec,
+                            f"cell timed out (>{cell_timeout:g}s budget)",
+                        ))
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    break
+                for future in done:
+                    spec = pending.pop(future)
+                    try:
+                        record = future.result()
+                    except Exception as exc:  # noqa: BLE001 — worker died
+                        record = _failed_record(
+                            spec, f"worker died: {exc}"
+                        )
+                    records.append(record)
+                    if progress:
+                        progress(record)
     records.sort(
         key=lambda r: (r["program"], r["machine"], r["variant"])
     )
@@ -257,7 +356,7 @@ class ComparisonRow:
     variant: str
     baseline_cycles: Optional[int]
     current_cycles: int
-    status: str  # 'ok' | 'improved' | 'regression' | 'missing'
+    status: str  # 'ok' | 'improved' | 'regression' | 'missing' | 'failed'
 
     @property
     def delta_percent(self) -> Optional[float]:
@@ -278,9 +377,10 @@ def compare_runs(
 
     A record whose cycles exceed the baseline by more than ``tolerance``
     percent is a regression; one absent from the baseline is 'missing'
-    (the baseline needs regenerating) — both fail the gate.  Baseline
-    records with no current counterpart are ignored: the gate may
-    legitimately measure a subset (e.g. ``--quick``).
+    (the baseline needs regenerating) — both fail the gate, as does a
+    cell whose measurement itself failed (``status='failed'``).
+    Baseline records with no current counterpart are ignored: the gate
+    may legitimately measure a subset (e.g. ``--quick``).
     """
     if tolerance is None:
         tolerance = default_tolerance()
@@ -298,7 +398,10 @@ def compare_runs(
             record.get("width"), record.get("height"),
         )
         base = by_key.get(key)
-        if base is None:
+        if record.get("status", "ok") != "ok":
+            base_cycles = base["cycles"] if base is not None else None
+            status = "failed"
+        elif base is None:
             status, base_cycles = "missing", None
         else:
             base_cycles = base["cycles"]
@@ -359,7 +462,7 @@ def format_compare_table(
         "gate: PASS"
         if not bad else
         f"gate: FAIL ({len(bad)} of {len(rows)} records "
-        "regressed or missing from baseline)"
+        "regressed, failed, or missing from baseline)"
     )
     return "\n".join(lines)
 

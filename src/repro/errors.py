@@ -74,6 +74,51 @@ class SimulationError(ReproError):
     """Runtime faults in the simulator (bad address, alignment trap, ...)."""
 
 
+class SimulationTimeout(SimulationError):
+    """The simulator exceeded its step budget (a stalled or diverging
+    program).
+
+    Carries the structured context a crash bundle or a watchdog needs:
+    how many steps had executed, the configured limit, and the program
+    counter (function/block) at which the budget ran out.
+    """
+
+    def __init__(
+        self,
+        steps: int,
+        limit: "int | None" = None,
+        function: str = "",
+        block: str = "",
+    ):
+        at = f" in {function}" if function else ""
+        if function and block:
+            at = f" in {function}/{block}"
+        limit_text = (
+            f"the {limit}-step limit" if limit is not None else "its step limit"
+        )
+        super().__init__(
+            f"simulation exceeded {limit_text} after {steps} steps{at}"
+        )
+        self.steps = steps
+        self.limit = limit
+        self.function = function
+        self.block = block
+
+
+class FaultInjected(ReproError):
+    """An artificial failure raised by the fault-injection harness.
+
+    Only :mod:`repro.resilience.faults` raises this; seeing it escape a
+    compilation means the recovery machinery failed to contain a fault it
+    was explicitly told about.
+    """
+
+    def __init__(self, site: str, kind: str = "raise"):
+        super().__init__(f"injected {kind!r} fault at site {site!r}")
+        self.site = site
+        self.kind = kind
+
+
 class AlignmentTrap(SimulationError):
     """An aligned memory access was attempted at an unaligned address.
 

@@ -37,6 +37,11 @@ class PassContext:
     # mode re-executes each function before/after every pass.
     sink: Optional[object] = None
     differential: bool = False
+    # Fault isolation: what to do when a pass raises/corrupts/miscompiles
+    # ('raise' | 'skip' | 'fallback', see repro.resilience.transaction),
+    # and an optional repro.resilience.FaultPlan to chaos-test with.
+    on_pass_failure: str = "raise"
+    faults: Optional[object] = None
     # pass name -> {"runs": int, "changed": int, "seconds": float}
     stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
@@ -92,6 +97,15 @@ class PassManager:
         sanitizer = _sanitizer
         if sanitizer is None:
             sanitizer = self._sanitizer(module)
+        guard = self._guard(func, module, sanitizer)
+        if guard is not None:
+            for name, pass_fn in self.passes:
+                guard.stage(
+                    self.ctx, name,
+                    lambda pass_fn=pass_fn: pass_fn(func, self.ctx),
+                    func=func, verify_after=self.ctx.verify,
+                )
+            return
         for name, pass_fn in self.passes:
             snapshot = sanitizer.snapshot(func) if sanitizer else None
             started = time.perf_counter()
@@ -103,6 +117,29 @@ class PassManager:
                 verify_function(func)
             if sanitizer is not None and changed:
                 sanitizer.compare(snapshot, func, name)
+
+    def _guard(self, func: Function, module: Optional[Module], sanitizer):
+        """A PassGuard when fault isolation is on; ``None`` keeps the
+        legacy fast path (and its exact behaviour) otherwise."""
+        if self.ctx.on_pass_failure == "raise" and not self.ctx.faults:
+            return None
+        from repro.resilience.transaction import PassGuard
+
+        scope = module
+        if scope is None:
+            # Snapshot scope for standalone runs: a throwaway module
+            # wrapping just this function.
+            scope = Module(name=f"<pm:{func.name}>")
+            scope.functions[func.name] = func
+        return PassGuard(
+            scope,
+            self.ctx.machine,
+            policy=self.ctx.on_pass_failure,
+            faults=self.ctx.faults,
+            sink=self.ctx.sink,
+            sanitizer=sanitizer,
+            verify=self.ctx.verify,
+        )
 
 
 def run_to_fixpoint(

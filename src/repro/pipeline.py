@@ -18,9 +18,10 @@ Four preset configurations reproduce the paper's measurement columns:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.coalesce import CoalesceReport, coalesce_function
 from repro.errors import ReproError
@@ -30,6 +31,11 @@ from repro.ir.verifier import verify_module
 from repro.machine import MachineDescription, get_machine, lower_module
 from repro.opt import loop_invariant_code_motion, strength_reduce, unroll_function
 from repro.opt.pass_manager import PassContext, cleanup
+from repro.resilience.transaction import (
+    PASS_FAILURE_POLICIES,
+    PassFailure,
+    PassGuard,
+)
 from repro.sched.block_cost import schedule_module
 from repro.sim import Simulator
 
@@ -65,10 +71,28 @@ class PipelineConfig:
     # report the offending stage on any behaviour divergence.  Expensive;
     # off by default.
     differential: bool = False
+    # What to do when a pass raises, breaks the IR verifier, or
+    # miscompiles (differential mode): 'raise' propagates (legacy),
+    # 'skip' rolls the module back to the pre-pass snapshot and keeps
+    # going, 'fallback' additionally disables the pass for the rest of
+    # the compilation — the compile-time mirror of the paper's Fig. 5
+    # run-time fallback loop.
+    on_pass_failure: str = "raise"
+    # Stage names never run at all (bisection uses this to pin failures).
+    disabled_passes: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.coalesce not in ("none", "loads", "all"):
             raise ReproError(f"bad coalesce mode {self.coalesce!r}")
+        if self.on_pass_failure not in PASS_FAILURE_POLICIES:
+            raise ReproError(
+                f"bad on_pass_failure {self.on_pass_failure!r}; known: "
+                f"{', '.join(PASS_FAILURE_POLICIES)}"
+            )
+        if not isinstance(self.disabled_passes, tuple):
+            object.__setattr__(  # tolerate lists from JSON manifests
+                self, "disabled_passes", tuple(self.disabled_passes)
+            )
 
 
 PRESETS: Dict[str, PipelineConfig] = {
@@ -118,6 +142,11 @@ class CompiledProgram:
     # (repro.bench.cache) instead of being compiled in this process; its
     # pass_stats then describe the original compilation.
     cache_hit: bool = False
+    # Recovered pass failures (repro.resilience.PassFailure), populated
+    # when on_pass_failure is 'skip'/'fallback' or faults were injected.
+    # Non-empty means the program is correct but less optimized than the
+    # configuration asked for.
+    pass_failures: List[PassFailure] = field(default_factory=list)
 
     def simulator(self, **kwargs) -> Simulator:
         return Simulator(self.module, self.machine, **kwargs)
@@ -125,6 +154,11 @@ class CompiledProgram:
     @property
     def coalesced_loops(self) -> int:
         return sum(1 for r in self.coalesce_reports if r.applied)
+
+    @property
+    def degraded(self) -> bool:
+        """Did any pass fail and get rolled back during compilation?"""
+        return bool(self.pass_failures)
 
     @property
     def lint_errors(self) -> List[object]:
@@ -135,12 +169,27 @@ def compile_minic(
     source: str,
     machine: Union[str, MachineDescription] = "alpha",
     config: Union[str, PipelineConfig, None] = None,
+    faults=None,
+    crash_dir: Optional[str] = None,
     **overrides,
 ) -> CompiledProgram:
-    """Compile MiniC ``source`` for ``machine`` under ``config``."""
+    """Compile MiniC ``source`` for ``machine`` under ``config``.
+
+    ``faults`` is an optional :class:`repro.resilience.FaultPlan`
+    (defaulting to ``REPRO_FAULTS`` from the environment) used to
+    chaos-test the recovery machinery.  ``crash_dir`` (default
+    ``REPRO_CRASH_DIR``) enables reproducer-bundle serialization for
+    every recovered pass failure.
+    """
     if isinstance(machine, str):
         machine = get_machine(machine)
     config = get_config(config, **overrides)
+    if faults is None:
+        from repro.resilience.faults import FaultPlan
+
+        faults = FaultPlan.from_env()
+    if crash_dir is None:
+        crash_dir = os.environ.get("REPRO_CRASH_DIR") or None
 
     frontend_started = time.perf_counter()
     module = compile_source(source, word_bytes=machine.word_bytes)
@@ -150,7 +199,10 @@ def compile_minic(
 
     sink = None
     sanitizer = None
-    if config.sanitize or config.differential:
+    if (
+        config.sanitize or config.differential
+        or config.on_pass_failure != "raise" or faults
+    ):
         from repro.sanitize import DiagnosticSink
 
         sink = DiagnosticSink()
@@ -162,39 +214,30 @@ def compile_minic(
     ctx = PassContext(
         machine, verify=config.verify,
         sink=sink, differential=config.differential,
+        on_pass_failure=config.on_pass_failure, faults=faults,
     )
     ctx.record_pass("frontend", True, frontend_seconds)
     reports: List[CoalesceReport] = []
 
+    guard = PassGuard(
+        module, machine,
+        policy=config.on_pass_failure,
+        faults=faults,
+        sink=sink,
+        sanitizer=sanitizer,
+        source=source,
+        config=config,
+        crash_dir=crash_dir,
+        disabled=config.disabled_passes,
+        verify=config.verify,
+    )
+
     def stage(func: Function, name: str, thunk) -> object:
-        """Run one per-function stage with timing and (optionally) the
-        differential sanitizer wrapped around it."""
-        snapshot = sanitizer.snapshot(func) if sanitizer else None
-        started = time.perf_counter()
-        result = thunk()
-        seconds = time.perf_counter() - started
-        if isinstance(result, bool):
-            changed = result
-        elif isinstance(result, list):
-            changed = any(getattr(r, "applied", True) for r in result)
-        else:
-            changed = True
-        ctx.record_pass(name, changed, seconds)
-        if sanitizer is not None and changed:
-            sanitizer.compare(snapshot, func, name)
-        return result
+        """Run one per-function stage as a guarded transaction."""
+        return guard.stage(ctx, name, thunk, func=func)
 
     def module_stage(name: str, thunk) -> None:
-        snapshots = (
-            {f.name: sanitizer.snapshot(f) for f in module}
-            if sanitizer else None
-        )
-        started = time.perf_counter()
-        thunk()
-        ctx.record_pass(name, True, time.perf_counter() - started)
-        if sanitizer is not None:
-            for f in module:
-                sanitizer.compare(snapshots[f.name], f, name)
+        guard.stage(ctx, name, thunk)
 
     for func in module:
         if config.optimize:
@@ -221,7 +264,7 @@ def compile_minic(
                     force=config.force_coalesce,
                     divisibility_factor=divisibility,
                     unaligned_loads=config.unaligned_loads,
-                ))
+                )) or []
             )
             if config.optimize:
                 stage(func, "cleanup", lambda: cleanup(func, ctx))
@@ -254,6 +297,7 @@ def compile_minic(
         module, machine, config, reports,
         diagnostics=list(sink) if sink is not None else [],
         pass_stats=dict(ctx.stats),
+        pass_failures=list(guard.failures),
     )
 
 

@@ -1,0 +1,49 @@
+"""Fault-isolated compilation: recovery, reproduction, and reduction.
+
+The paper's central trick is *run-time* graceful degradation: the
+coalesced loop is guarded by preheader alias/alignment/trip-count checks
+and control falls back to the original safe loop when they fail
+(Fig. 5, §2.2).  This package applies the same check-then-fall-back
+discipline to the compiler itself:
+
+* :mod:`repro.resilience.transaction` — transactional pass execution.
+  Every pipeline stage runs against a snapshot (the RTL-text round trip
+  already proven by the compile-session cache); on an exception, an
+  IR-verifier failure, or a differential-sanitizer miscompile the module
+  rolls back to last-good and compilation degrades gracefully to a
+  still-correct (if less optimized) program.  The policy knob is
+  ``PipelineConfig.on_pass_failure`` (``raise`` | ``skip`` |
+  ``fallback``).
+* :mod:`repro.resilience.faults` — a deterministic, seeded
+  fault-injection harness (``REPRO_FAULTS`` / ``--inject``) that plants
+  exceptions, IR corruption, and simulator stalls at chosen pass/block
+  sites to chaos-test the recovery machinery.
+* :mod:`repro.resilience.bundle` — reproducer bundles.  Every recovered
+  failure can be serialized into a ``repro_crash_<hash>/`` directory
+  (source, machine, config, pre-pass RTL, traceback, git SHA) with a
+  one-command replay: ``python -m repro replay <bundle>``.
+* :mod:`repro.resilience.bisect` — ``python -m repro bisect <bundle>``
+  delta-debugs the pass list (and unroll factors) down to the minimal
+  failing set, then greedily shrinks the Mini-C source while the failure
+  still reproduces, bugpoint-style.
+"""
+
+from repro.resilience.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.resilience.transaction import (
+    PASS_FAILURE_POLICIES,
+    PassFailure,
+    PassGuard,
+    restore_module_text,
+    snapshot_module_text,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "PASS_FAILURE_POLICIES",
+    "PassFailure",
+    "PassGuard",
+    "restore_module_text",
+    "snapshot_module_text",
+]

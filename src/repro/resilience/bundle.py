@@ -1,0 +1,250 @@
+"""Reproducer bundles: one directory per recovered compilation failure.
+
+A bundle is everything needed to replay a pass failure on another
+machine, months later::
+
+    repro_crash_1a2b3c4d5e6f/
+        manifest.json     machine, full PipelineConfig, failing pass,
+                          fault plan, git SHA, python version, timestamps
+        source.c          the MiniC translation unit
+        pre_pass.rtl      module RTL immediately before the failing pass
+        traceback.txt     the Python traceback (empty for miscompiles)
+        README.txt        the one-command replay/bisect instructions
+
+Replay recompiles under ``on_pass_failure='skip'`` with the recorded
+fault plan re-armed and reports whether the same (pass, kind, error)
+signature recurs.  ``python -m repro bisect`` builds on this to shrink
+the failure (see :mod:`repro.resilience.bisect`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ReproError
+from repro.resilience.transaction import PassFailure
+
+BUNDLE_SCHEMA = 1
+BUNDLE_PREFIX = "repro_crash_"
+
+
+def _git_sha() -> str:
+    """The repository HEAD, or 'unknown' outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def failure_hash(
+    source: str, machine_name: str, config_json: str, failure: PassFailure
+) -> str:
+    """Stable 12-hex identity of one failure (names the bundle dir)."""
+    blob = "\x00".join(
+        (
+            source,
+            machine_name,
+            config_json,
+            failure.pass_name,
+            failure.kind,
+            failure.error_type,
+            failure.injected,
+        )
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+def write_bundle(
+    failure: PassFailure,
+    source: str,
+    machine_name: str,
+    config,
+    directory: Union[str, Path] = ".",
+    faults: str = "",
+) -> str:
+    """Serialize one recovered failure; returns the bundle path.
+
+    Idempotent: the directory name is a hash of the failure identity, so
+    re-recovering the same failure reuses the existing bundle.
+    """
+    config_dict = asdict(config) if config is not None else {}
+    config_json = json.dumps(config_dict, sort_keys=True)
+    digest = failure_hash(source, machine_name, config_json, failure)
+    bundle = Path(directory) / f"{BUNDLE_PREFIX}{digest}"
+    if (bundle / "manifest.json").exists():
+        return str(bundle)
+    bundle.mkdir(parents=True, exist_ok=True)
+
+    manifest = {
+        "schema": BUNDLE_SCHEMA,
+        "machine": machine_name,
+        "config": config_dict,
+        "pass": failure.pass_name,
+        "function": failure.function,
+        "kind": failure.kind,
+        "error_type": failure.error_type,
+        "message": failure.message,
+        "invocation": failure.invocation,
+        "injected": failure.injected,
+        "faults": faults,
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "created_unix": int(time.time()),
+    }
+    (bundle / "source.c").write_text(source)
+    (bundle / "pre_pass.rtl").write_text(failure.pre_pass_rtl)
+    (bundle / "traceback.txt").write_text(failure.traceback)
+    (bundle / "README.txt").write_text(
+        f"Recovered compilation failure: {failure.describe()}\n"
+        "\n"
+        "Replay (expects the same failure to recur):\n"
+        f"    python -m repro replay {bundle.name}\n"
+        "\n"
+        "Pin the failing pass set and shrink the source:\n"
+        f"    python -m repro bisect {bundle.name}\n"
+    )
+    tmp = bundle / "manifest.json.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(manifest, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, bundle / "manifest.json")
+    return str(bundle)
+
+
+@dataclass
+class Bundle:
+    """A loaded reproducer bundle."""
+
+    path: str
+    manifest: dict
+    source: str
+    pre_pass_rtl: str
+    traceback: str
+
+    @property
+    def machine(self) -> str:
+        return self.manifest["machine"]
+
+    @property
+    def pass_name(self) -> str:
+        return self.manifest["pass"]
+
+    @property
+    def signature(self) -> tuple:
+        return (
+            self.manifest["pass"],
+            self.manifest["kind"],
+            self.manifest["error_type"],
+        )
+
+
+def load_bundle(path: Union[str, Path]) -> Bundle:
+    bundle = Path(path)
+    manifest_path = bundle / "manifest.json"
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except FileNotFoundError:
+        raise ReproError(f"{bundle}: not a crash bundle (no manifest.json)")
+    except ValueError as exc:
+        raise ReproError(f"{manifest_path}: corrupt manifest: {exc}")
+    if manifest.get("schema") != BUNDLE_SCHEMA:
+        raise ReproError(
+            f"{bundle}: unsupported bundle schema "
+            f"{manifest.get('schema')!r} (want {BUNDLE_SCHEMA})"
+        )
+    def _read(name: str) -> str:
+        try:
+            return (bundle / name).read_text()
+        except OSError:
+            return ""
+    return Bundle(
+        path=str(bundle),
+        manifest=manifest,
+        source=_read("source.c"),
+        pre_pass_rtl=_read("pre_pass.rtl"),
+        traceback=_read("traceback.txt"),
+    )
+
+
+def config_from_bundle(bundle: Bundle, **overrides):
+    """Rebuild the bundle's :class:`PipelineConfig` (tolerating fields
+    added or removed since the bundle was written)."""
+    from repro.pipeline import PipelineConfig
+
+    known = {f.name for f in fields(PipelineConfig)}
+    data = {
+        key: value
+        for key, value in bundle.manifest.get("config", {}).items()
+        if key in known
+    }
+    if isinstance(data.get("disabled_passes"), list):
+        data["disabled_passes"] = tuple(data["disabled_passes"])
+    data.update(overrides)
+    return PipelineConfig(**data)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of re-running a bundle's compilation."""
+
+    reproduced: bool
+    failure: Optional[PassFailure]
+    program: Optional[object]     # CompiledProgram
+    error: str = ""
+
+    def describe(self) -> str:
+        if self.reproduced:
+            return f"reproduced: {self.failure.describe()}"
+        if self.error:
+            return f"did not reproduce (compilation error: {self.error})"
+        return "did not reproduce (compilation recovered nothing matching)"
+
+
+def replay_bundle(
+    bundle: Union[str, Path, Bundle],
+    source: Optional[str] = None,
+) -> ReplayResult:
+    """Recompile the bundle's source and look for the same failure.
+
+    The compilation runs under ``on_pass_failure='skip'`` with the
+    recorded fault plan re-armed, so an organic crash *or* an injected
+    one recurs as a recovered :class:`PassFailure` we can match on.
+    """
+    from repro.pipeline import compile_minic
+    from repro.resilience.faults import FaultPlan
+
+    if not isinstance(bundle, Bundle):
+        bundle = load_bundle(bundle)
+    config = config_from_bundle(
+        bundle, name="replay", on_pass_failure="skip"
+    )
+    faults = FaultPlan.parse(bundle.manifest.get("faults"))
+    want = bundle.signature
+    try:
+        program = compile_minic(
+            source if source is not None else bundle.source,
+            bundle.machine,
+            config,
+            faults=faults,
+        )
+    except ReproError as exc:
+        return ReplayResult(False, None, None, error=str(exc))
+    for failure in program.pass_failures:
+        if failure.signature == want:
+            return ReplayResult(True, failure, program)
+    return ReplayResult(False, None, program)

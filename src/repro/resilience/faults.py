@@ -1,0 +1,232 @@
+"""Deterministic fault injection for chaos-testing the recovery machinery.
+
+A :class:`FaultPlan` describes *where* and *how* compilation should be
+made to fail.  Two modes, freely combinable with the rest of the plan
+string but mutually exclusive in effect (explicit sites win):
+
+* **explicit sites** — ``unroll=raise``, ``coalesce=corrupt@2`` (fire on
+  the second arrival), ``sim:f/loop=stall`` (stall the simulator the
+  first time block ``loop`` of function ``f`` executes);
+* **seeded sweep** — ``seed=42,rate=0.25,kinds=raise|corrupt`` fires at
+  every pass site with probability ``rate``, decided by a deterministic
+  hash of ``(seed, site, arrival)`` so a run is exactly reproducible
+  from its plan string.
+
+Three fault kinds:
+
+=========  ==============================================================
+``raise``  raise :class:`repro.errors.FaultInjected` before the pass runs
+``corrupt``  damage the IR after the pass (drop a terminator) so the
+           verifier must catch it
+``stall``  raise :class:`repro.errors.SimulationTimeout`, emulating a
+           stalled pass or a diverging simulation
+=========  ==============================================================
+
+Plans come from the ``REPRO_FAULTS`` environment variable (picked up by
+``compile_minic`` automatically) or the ``--inject`` CLI flag, and
+round-trip through ``str(plan)`` so a crash bundle can re-arm the exact
+plan on replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FaultInjected, ReproError, SimulationTimeout
+
+FAULT_KINDS = ("raise", "corrupt", "stall")
+
+#: Prefix of simulator block sites: ``sim:<function>/<block>``.
+SIM_SITE_PREFIX = "sim:"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planted fault: where, what, and on which arrival it fires."""
+
+    site: str
+    kind: str = "raise"
+    hit: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {', '.join(FAULT_KINDS)}"
+            )
+        if self.hit < 1:
+            raise ReproError(f"fault hit count must be >= 1, got {self.hit}")
+
+    def __str__(self) -> str:
+        text = f"{self.site}={self.kind}"
+        if self.hit != 1:
+            text += f"@{self.hit}"
+        return text
+
+
+def _chance(seed: int, site: str, arrival: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one site arrival."""
+    digest = hashlib.sha256(
+        f"{seed}:{site}:{arrival}".encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big") / 2**32
+
+
+class FaultPlan:
+    """A reproducible schedule of injected failures.
+
+    The plan is consulted by the pass guard at every pass site (and, via
+    :meth:`sim_hook`, by the interpreter at every block).  ``fired``
+    records every fault that actually triggered, so a chaos run can
+    assert that each planted fault was both hit and recovered from.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec] = (),
+        seed: Optional[int] = None,
+        rate: float = 1.0,
+        kinds: Sequence[str] = ("raise",),
+    ):
+        self.specs: List[FaultSpec] = list(specs)
+        self.seed = seed
+        self.rate = rate
+        self.kinds: Tuple[str, ...] = tuple(kinds) or ("raise",)
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ReproError(f"unknown fault kind {kind!r}")
+        self._arrivals: Dict[str, int] = {}
+        self.fired: List[FaultSpec] = []
+
+    def __bool__(self) -> bool:
+        return bool(self.specs) or self.seed is not None
+
+    def __str__(self) -> str:
+        parts = [str(spec) for spec in self.specs]
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+            parts.append(f"rate={self.rate:g}")
+            parts.append("kinds=" + "|".join(self.kinds))
+        return ",".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan {str(self) or 'empty'}>"
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def parse(cls, text: Optional[str]) -> Optional["FaultPlan"]:
+        """Parse a plan string; empty/None yields ``None`` (no plan)."""
+        if not text or not text.strip():
+            return None
+        specs: List[FaultSpec] = []
+        seed: Optional[int] = None
+        rate = 1.0
+        kinds: Tuple[str, ...] = ("raise",)
+        for entry in text.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            key, eq, value = entry.partition("=")
+            if not eq:
+                raise ReproError(
+                    f"bad fault entry {entry!r}; want site=kind[@hit] "
+                    "or seed=/rate=/kinds="
+                )
+            key = key.strip()
+            value = value.strip()
+            if key == "seed":
+                seed = int(value)
+            elif key == "rate":
+                rate = float(value)
+            elif key == "kinds":
+                kinds = tuple(
+                    k.strip() for k in value.split("|") if k.strip()
+                )
+            else:
+                kind, at, hit = value.partition("@")
+                specs.append(
+                    FaultSpec(key, kind.strip(), int(hit) if at else 1)
+                )
+        return cls(specs, seed=seed, rate=rate, kinds=kinds)
+
+    @classmethod
+    def from_env(cls, environ=None) -> Optional["FaultPlan"]:
+        """The plan named by ``REPRO_FAULTS``, or ``None``."""
+        environ = environ if environ is not None else os.environ
+        return cls.parse(environ.get("REPRO_FAULTS"))
+
+    # -- consultation -------------------------------------------------------
+    def reset(self) -> None:
+        """Forget arrival counts and the fired log (fresh compilation)."""
+        self._arrivals.clear()
+        self.fired.clear()
+
+    def draw(
+        self, site: str, aliases: Sequence[str] = ()
+    ) -> Optional[FaultSpec]:
+        """One arrival at ``site``: the fault that fires now, or ``None``.
+
+        ``aliases`` are additional names the same arrival answers to
+        (e.g. ``unroll:dot`` for the per-function form of an ``unroll``
+        site).  The returned spec is recorded in :attr:`fired`.
+        """
+        arrival = self._arrivals.get(site, 0) + 1
+        self._arrivals[site] = arrival
+        names = (site,) + tuple(aliases)
+        for spec in self.specs:
+            if spec.site in names and spec.hit == arrival:
+                self.fired.append(spec)
+                return spec
+        if self.specs or self.seed is None:
+            return None
+        if _chance(self.seed, site, arrival) < self.rate:
+            kind = self.kinds[
+                int(_chance(self.seed + 1, site, arrival) * len(self.kinds))
+                % len(self.kinds)
+            ]
+            spec = FaultSpec(site, kind, arrival)
+            self.fired.append(spec)
+            return spec
+        return None
+
+    # -- execution ----------------------------------------------------------
+    def execute(self, spec: FaultSpec) -> None:
+        """Raise the planted failure for a ``raise``/``stall`` spec."""
+        if spec.kind == "stall":
+            raise SimulationTimeout(
+                0, limit=0, function=spec.site,
+            )
+        raise FaultInjected(spec.site, spec.kind)
+
+    def corrupt(self, spec: FaultSpec, func) -> bool:
+        """Deterministically damage ``func``'s IR (for ``corrupt`` specs).
+
+        Drops the terminator of the last non-empty block, which the
+        structural verifier is guaranteed to reject.  Returns whether any
+        damage was done (a function with no instructions cannot be
+        corrupted this way).
+        """
+        if func is None:
+            raise FaultInjected(spec.site, spec.kind)
+        for block in reversed(func.blocks):
+            if block.instrs:
+                block.instrs.pop()
+                return True
+        return False
+
+    def sim_hook(self):
+        """A per-block interpreter hook honouring ``sim:<func>/<block>``
+        sites; pass it to ``Simulator(fault_hook=...)``."""
+
+        def hook(func_name: str, label: str) -> None:
+            site = f"{SIM_SITE_PREFIX}{func_name}/{label}"
+            spec = self.draw(site)
+            if spec is not None:
+                raise SimulationTimeout(
+                    0, limit=0, function=func_name, block=label
+                )
+
+        return hook

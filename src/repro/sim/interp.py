@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SimulationTimeout
 from repro.ir.function import Function, Module
 from repro.ir.rtl import (
     BinOp,
@@ -108,9 +108,13 @@ class Interpreter:
         memory: Optional[SimMemory] = None,
         simulate_caches: bool = True,
         max_steps: int = 200_000_000,
+        fault_hook=None,
     ):
         self.module = module
         self.machine = machine
+        # Optional chaos hook called as hook(func_name, block_label) at
+        # every block entry; FaultPlan.sim_hook() uses it to plant stalls.
+        self.fault_hook = fault_hook
         self.memory = memory or SimMemory(endian=machine.endian)
         if self.memory.endian != machine.endian:
             raise SimulationError(
@@ -203,10 +207,15 @@ class Interpreter:
                 if self.icache is not None:
                     for line in self._block_lines[key]:
                         self.icache.access(line)
+                if self.fault_hook is not None:
+                    self.fault_hook(func.name, block.label)
                 self._steps += len(block.instrs)
                 if self._steps > self.max_steps:
-                    raise SimulationError(
-                        f"exceeded {self.max_steps} simulated instructions"
+                    raise SimulationTimeout(
+                        self._steps,
+                        limit=self.max_steps,
+                        function=func.name,
+                        block=block.label,
                     )
                 stats.instr_count += len(block.instrs)
 

@@ -12,6 +12,7 @@ the interface the benchmark harness and the examples use::
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, Optional, Sequence
 
@@ -23,6 +24,19 @@ from repro.sim.interp import Interpreter
 from repro.sim.memory import SimMemory
 
 
+def default_max_steps() -> int:
+    """The watchdog step budget: ``REPRO_MAX_STEPS`` or 200M."""
+    raw = os.environ.get("REPRO_MAX_STEPS", "").strip()
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            raise SimulationError(
+                f"bad REPRO_MAX_STEPS value {raw!r} (want an integer)"
+            ) from None
+    return 200_000_000
+
+
 class Simulator:
     """One module loaded on one machine, ready to run."""
 
@@ -31,12 +45,16 @@ class Simulator:
         module: Module,
         machine: MachineDescription,
         simulate_caches: bool = True,
-        max_steps: int = 200_000_000,
+        max_steps: Optional[int] = None,
         engine: str = "interp",
+        fault_hook=None,
     ):
         self.module = module
         self.machine = machine
         self.memory = SimMemory(endian=machine.endian)
+        if max_steps is None:
+            max_steps = default_max_steps()
+        self.max_steps = max_steps
         if engine == "interp":
             self.engine = Interpreter(
                 module,
@@ -44,8 +62,13 @@ class Simulator:
                 memory=self.memory,
                 simulate_caches=simulate_caches,
                 max_steps=max_steps,
+                fault_hook=fault_hook,
             )
         elif engine == "translate":
+            if fault_hook is not None:
+                raise SimulationError(
+                    "fault_hook requires the 'interp' engine"
+                )
             from repro.sim.translate import TranslatedEngine
 
             self.engine = TranslatedEngine(

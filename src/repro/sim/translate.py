@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import AlignmentTrap, SimulationError
+from repro.errors import AlignmentTrap, SimulationError, SimulationTimeout
 from repro.ir.function import Function, Module
 from repro.ir.rtl import (
     BinOp,
@@ -275,7 +275,7 @@ class _FunctionTranslator:
             if self.engine.icache is not None:
                 for line in self.engine.block_lines(func.name, block.label):
                     self.emit(4, f"_ic({line})")
-            self._emit_step_guard(4, len(block.instrs))
+            self._emit_step_guard(4, len(block.instrs), block.label)
             for instr in block.instrs:
                 self._emit_instr(4, instr, index_of, slot_vars)
         self.emit(3, "else:")
@@ -284,12 +284,13 @@ class _FunctionTranslator:
         self.emit(2, "_MEM.reset_brk(_mark)")
         return "\n".join(self.lines)
 
-    def _emit_step_guard(self, depth: int, count: int) -> None:
+    def _emit_step_guard(self, depth: int, count: int, label: str) -> None:
         self.emit(depth, f"_steps[0] += {count}")
         self.emit(
             depth,
             "if _steps[0] > _MAXSTEPS: "
-            "raise _SimulationError('exceeded step limit')",
+            f"raise _Timeout(_steps[0], _MAXSTEPS, "
+            f"{self.func.name!r}, {label!r})",
         )
 
     def _emit_instr(
@@ -481,6 +482,7 @@ class TranslatedEngine:
             "_fault": _fault,
             "_fieldshift": _fieldshift,
             "_SimulationError": SimulationError,
+            "_Timeout": SimulationTimeout,
             "_ic": self.icache.access if self.icache else None,
             "_dc": self.dcache.access if self.dcache else None,
         }
