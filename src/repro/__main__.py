@@ -16,6 +16,18 @@ Commands:
 * ``chaos FILES...`` — inject one fault into every pipeline stage in
   turn and verify each compilation recovers and still behaves like the
   unoptimized baseline.
+* ``serve`` — run the concurrent compile server on a local socket
+  (bounded queue, deadlines, circuit breakers, degraded fallbacks).
+* ``submit FILE`` — send a compile (or, with ``--entry``, simulate)
+  request to a running server, retrying retryable failures.
+* ``status`` — print a running server's queue/breaker/cache state;
+  ``--shutdown`` asks it to drain and exit.
+* ``cache`` — inspect (``--stats``) or empty (``--clear``) the disk
+  compile cache.
+
+``replay``/``bisect``/``chaos`` take ``--json`` for machine-readable
+output; all three exit 0 on success, 1 when the check fails (did not
+reproduce / nothing pinned / problems found), 2 on bad input.
 
 Examples::
 
@@ -32,6 +44,12 @@ Examples::
     python -m repro replay crashes/repro_crash_1a2b3c4d5e6f
     python -m repro bisect crashes/repro_crash_1a2b3c4d5e6f
     python -m repro chaos examples/*.c --seed 1234
+    python -m repro serve --workers 4 --queue-limit 32
+    python -m repro submit kernel.c --config coalesce-all --deadline 10
+    python -m repro submit kernel.c --entry dot --array a:2:1,2,3,4 \\
+        --array b:2:5,6,7,8 --args a b 4
+    python -m repro status --json
+    python -m repro cache --stats
 """
 
 from __future__ import annotations
@@ -85,6 +103,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="write a replayable repro_crash_<hash>/ bundle for every "
              "recovered pass failure into DIR",
     )
+    parser.add_argument(
+        "--max-bundles", type=int, default=None, metavar="N",
+        help="cap the crash directory at N bundles, evicting oldest "
+             "first (default: $REPRO_MAX_BUNDLES or 20)",
+    )
 
 
 def _compile_from_args(args, **extra) -> object:
@@ -100,6 +123,7 @@ def _compile_from_args(args, **extra) -> object:
         args.config,
         faults=FaultPlan.parse(getattr(args, "inject", None)),
         crash_dir=getattr(args, "crash_dir", None),
+        max_bundles=getattr(args, "max_bundles", None),
         unroll_factor=args.unroll_factor,
         force_coalesce=args.force_coalesce,
         unaligned_loads=args.unaligned_loads,
@@ -362,7 +386,15 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _emit_json(payload) -> None:
+    import json
+
+    print(json.dumps(payload, indent=1, sort_keys=True))
+
+
 def cmd_replay(args) -> int:
+    import json
+
     from repro.errors import ReproError
     from repro.resilience.bundle import load_bundle, replay_bundle
 
@@ -370,13 +402,28 @@ def cmd_replay(args) -> int:
         bundle = load_bundle(args.bundle)
         result = replay_bundle(bundle)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        if args.json:
+            print(json.dumps({"error": str(exc)}))
+        else:
+            print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(result.describe())
+    if args.json:
+        _emit_json({
+            "bundle": bundle.path,
+            "reproduced": result.reproduced,
+            "signature": list(bundle.signature),
+            "failure": (
+                result.failure.describe() if result.failure else None
+            ),
+            "error": result.error,
+        })
+    else:
+        print(result.describe())
     return 0 if result.reproduced else 1
 
 
 def cmd_bisect(args) -> int:
+    import json
     from pathlib import Path
 
     from repro.errors import ReproError
@@ -391,13 +438,27 @@ def cmd_bisect(args) -> int:
             progress=lambda msg: print(f"  {msg}", file=sys.stderr),
         )
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        if args.json:
+            print(json.dumps({"error": str(exc)}))
+        else:
+            print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(result.describe())
+    reduced_path = None
     if result.reduced_source is not None:
         out = Path(bundle.path) / "reduced.c"
         out.write_text(result.reduced_source)
-        print(f"reduced source written to {out}")
+        reduced_path = str(out)
+    if args.json:
+        _emit_json({
+            "bundle": bundle.path,
+            "culprit": list(result.culprit),
+            "attempts": result.attempts,
+            "reduced_source": reduced_path,
+        })
+    else:
+        print(result.describe())
+        if reduced_path is not None:
+            print(f"reduced source written to {reduced_path}")
     return 0 if result.culprit else 1
 
 
@@ -534,13 +595,205 @@ def cmd_chaos(args) -> int:
                             file=sys.stderr,
                         )
 
-    print(
-        f"chaos: {recovered}/{checked} injections fully recovered "
-        f"({len(problems)} problem(s)); bundles in {crash_dir}"
-    )
-    for problem in problems:
-        print(f"  {problem}")
+    if args.json:
+        _emit_json({
+            "checked": checked,
+            "recovered": recovered,
+            "problems": problems,
+            "crash_dir": crash_dir,
+        })
+    else:
+        print(
+            f"chaos: {recovered}/{checked} injections fully recovered "
+            f"({len(problems)} problem(s)); bundles in {crash_dir}"
+        )
+        for problem in problems:
+            print(f"  {problem}")
     return 1 if problems else 0
+
+
+def cmd_serve(args) -> int:
+    from repro.errors import ReproError
+    from repro.resilience.faults import FaultPlan
+    from repro.service.server import CompileServer
+
+    faults = FaultPlan.parse(args.inject) if args.inject else None
+    server = CompileServer(
+        socket_path=args.socket,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        default_deadline=args.default_deadline,
+        faults=faults,
+        crash_dir=args.crash_dir,
+    )
+    print(
+        f"serving on {server.socket_path} "
+        f"({server.workers} workers, queue limit {server.queue_limit})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
+def _print_submit_response(response, as_json: bool) -> None:
+    import json
+
+    if as_json:
+        print(json.dumps(response, indent=1, sort_keys=True))
+        return
+    status = response.get("status")
+    print(f"status: {status}")
+    if response.get("degraded") or status == "degraded":
+        disabled = response.get("disabled_passes") or []
+        recovered = response.get("recovered_passes") or []
+        print(
+            "degraded: served with reduced optimization "
+            f"(breaker {response.get('breaker')}; "
+            f"disabled: {', '.join(disabled) or '-'}; "
+            f"recovered: {', '.join(recovered) or '-'})"
+        )
+    for field in ("result", "cycles", "instr_count", "memory_accesses",
+                  "coalesced_loops", "cache_hit", "error"):
+        if response.get(field) is not None:
+            print(f"{field}: {response[field]}")
+    if response.get("rtl"):
+        print(response["rtl"])
+
+
+def cmd_submit(args) -> int:
+    from repro.errors import ReproError
+    from repro.service.client import (
+        ServiceClient,
+        ServiceUnavailable,
+        parse_array_specs,
+    )
+
+    client = ServiceClient(
+        args.socket, retries=args.retries,
+        backoff_base=args.backoff_base,
+    )
+    fields = {}
+    if args.deadline is not None:
+        fields["deadline"] = args.deadline
+    if args.inject:
+        fields["faults"] = args.inject
+    try:
+        if args.bench:
+            response = client.bench(
+                args.bench, machine=args.machine,
+                variant=args.variant, size=args.size, **fields,
+            )
+        elif args.entry:
+            with open(args.file) as handle:
+                source = handle.read()
+            call_args = [
+                arg if not arg.lstrip("-").isdigit() else int(arg, 0)
+                for arg in args.args or []
+            ]
+            response = client.simulate(
+                source, args.entry, call_args,
+                arrays=parse_array_specs(args.array),
+                machine=args.machine, config=args.config,
+                max_steps=args.max_steps, **fields,
+            )
+        else:
+            if not args.file:
+                print(
+                    "error: a FILE (or --bench PROGRAM) is required",
+                    file=sys.stderr,
+                )
+                return 2
+            with open(args.file) as handle:
+                source = handle.read()
+            response = client.compile(
+                source, machine=args.machine, config=args.config,
+                include_rtl=args.rtl, **fields,
+            )
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_submit_response(response, args.json)
+    return 0 if response.get("status") in ("ok", "degraded") else 1
+
+
+def cmd_status(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(args.socket, retries=1)
+    try:
+        if args.shutdown:
+            response = client.shutdown_server()
+        else:
+            response = client.status()
+    except (ServiceUnavailable, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    if args.json:
+        print(json.dumps(response, indent=1, sort_keys=True))
+        return 0 if response.get("status") == "ok" else 1
+    if args.shutdown:
+        print(f"shutdown: {response.get('status')}")
+        return 0 if response.get("status") == "ok" else 1
+    server = response.get("server", {})
+    print(f"server on {server.get('socket')}")
+    for field in ("uptime_seconds", "workers", "queue_depth",
+                  "queue_limit", "in_flight", "accepted", "completed",
+                  "ok", "degraded", "rejected", "timeouts", "errors"):
+        print(f"  {field}: {server.get(field)}")
+    breakers = response.get("breakers") or {}
+    print(f"breakers: {len(breakers)}")
+    for key, snap in sorted(breakers.items()):
+        bad = ", ".join(snap.get("bad_passes") or []) or "-"
+        print(
+            f"  {key}: {snap['state']} "
+            f"(failures {snap['consecutive_failures']}, bad passes {bad}, "
+            f"served degraded {snap['served_degraded']})"
+        )
+    cache = response.get("cache")
+    if cache:
+        print(
+            f"cache: {cache['entries']} entries, {cache['bytes']} bytes "
+            f"in {cache['directory']}"
+        )
+    print(f"single-flight shared compiles: "
+          f"{response.get('single_flight_shared', 0)}")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    import json
+
+    from repro.bench.cache import CompileCache, cache_enabled
+
+    cache = CompileCache(args.dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    stats = cache.stats()
+    stats["enabled"] = cache_enabled()
+    if args.json:
+        print(json.dumps(stats, indent=1, sort_keys=True))
+    else:
+        cap = stats["max_bytes"]
+        print(f"compile cache at {stats['directory']} "
+              f"({'enabled' if stats['enabled'] else 'DISABLED'})")
+        print(f"  entries:   {stats['entries']}")
+        print(f"  bytes:     {stats['bytes']}")
+        print(f"  max bytes: {cap if cap is not None else 'unlimited'}")
+    return 0
 
 
 def cmd_machines(args) -> int:
@@ -686,6 +939,10 @@ def main(argv=None) -> int:
         "replay", help="re-run a crash bundle's compilation"
     )
     p_replay.add_argument("bundle", help="a repro_crash_<hash>/ directory")
+    p_replay.add_argument(
+        "--json", action="store_true",
+        help="machine-readable result on stdout",
+    )
     p_replay.set_defaults(func=cmd_replay)
 
     p_bisect = sub.add_parser(
@@ -696,6 +953,10 @@ def main(argv=None) -> int:
     p_bisect.add_argument(
         "--no-reduce", action="store_true",
         help="skip the source-reduction phase",
+    )
+    p_bisect.add_argument(
+        "--json", action="store_true",
+        help="machine-readable result on stdout",
     )
     p_bisect.set_defaults(func=cmd_bisect)
 
@@ -726,7 +987,124 @@ def main(argv=None) -> int:
              "injected stage",
     )
     p_chaos.add_argument("--verbose", action="store_true")
+    p_chaos.add_argument(
+        "--json", action="store_true",
+        help="machine-readable summary on stdout",
+    )
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the compile server on a local Unix socket",
+    )
+    p_serve.add_argument(
+        "--socket", default=None,
+        help="socket path (default: REPRO_SERVICE_SOCKET or a per-user "
+             "path under the temp dir)",
+    )
+    p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="bounded request queue depth; beyond it requests are "
+             "load-shed with a retryable 'rejected' response",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive pass failures before a circuit opens",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        help="seconds an open circuit waits before a half-open probe",
+    )
+    p_serve.add_argument(
+        "--default-deadline", type=float, default=None,
+        help="per-request deadline in seconds when the request sets none",
+    )
+    p_serve.add_argument(
+        "--inject", default=None, metavar="PLAN",
+        help="server-wide fault plan (same syntax as REPRO_FAULTS); "
+             "arrival counts span requests",
+    )
+    p_serve.add_argument(
+        "--crash-dir", default=None,
+        help="where crash bundles land (default: cwd)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit one request to a running compile server",
+    )
+    p_submit.add_argument(
+        "file", nargs="?", default=None,
+        help="MiniC source to compile (or simulate with --entry)",
+    )
+    p_submit.add_argument("--socket", default=None)
+    p_submit.add_argument("--machine", default="alpha",
+                          choices=sorted(MACHINE_NAMES))
+    p_submit.add_argument("--config", default="vpo")
+    p_submit.add_argument(
+        "--entry", default=None,
+        help="simulate: function to call after compiling",
+    )
+    p_submit.add_argument(
+        "--args", nargs="*", default=None,
+        help="simulate: arguments (ints or staged array names)",
+    )
+    p_submit.add_argument(
+        "--array", action="append", default=[], metavar="NAME:WIDTH:VALUES",
+        help="simulate: stage an array, e.g. a:2:1,2,3,4 (repeatable)",
+    )
+    p_submit.add_argument("--max-steps", type=int, default=None)
+    p_submit.add_argument(
+        "--bench", default=None, metavar="PROGRAM",
+        help="run a benchmark program instead of compiling a file",
+    )
+    p_submit.add_argument("--variant", default="coalesce-all")
+    p_submit.add_argument("--size", type=int, default=16)
+    p_submit.add_argument("--rtl", action="store_true",
+                          help="include the final RTL in the response")
+    p_submit.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline in seconds",
+    )
+    p_submit.add_argument(
+        "--inject", default=None, metavar="PLAN",
+        help="request-scoped fault plan (for testing degradation)",
+    )
+    p_submit.add_argument("--retries", type=int, default=5)
+    p_submit.add_argument("--backoff-base", type=float, default=0.05)
+    p_submit.add_argument("--json", action="store_true")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="query (or shut down) a running compile server"
+    )
+    p_status.add_argument("--socket", default=None)
+    p_status.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the server to drain and exit",
+    )
+    p_status.add_argument("--json", action="store_true")
+    p_status.set_defaults(func=cmd_status)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk compile cache"
+    )
+    p_cache.add_argument(
+        "--dir", default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or "
+             ".repro_cache/compile)",
+    )
+    p_cache.add_argument(
+        "--clear", action="store_true", help="remove every cache entry"
+    )
+    p_cache.add_argument(
+        "--stats", action="store_true",
+        help="print entry/byte counts (the default action)",
+    )
+    p_cache.add_argument("--json", action="store_true")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_machines = sub.add_parser("machines", help="list machine models")
     p_machines.set_defaults(func=cmd_machines)

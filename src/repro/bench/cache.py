@@ -21,6 +21,17 @@ Entries are JSON files written atomically (temp file + ``os.replace``);
 a corrupted or stale entry is treated as a miss and deleted.  The cache
 lives in ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-compile``) and
 is disabled entirely by ``REPRO_CACHE=off``.
+
+Disk usage is bounded: the cache holds at most ``max_bytes``
+(``REPRO_CACHE_MAX_BYTES``, default 256 MiB) of entries, pruned
+oldest-mtime-first on every store; a hit refreshes the entry's mtime, so
+eviction is LRU rather than FIFO.  ``python -m repro cache --stats``
+inspects the store, ``--clear`` empties it.
+
+:class:`SingleFlight` collapses *in-flight* duplicates: when several
+threads (the compile service's worker pool) request the same cache key
+at once, one thread compiles and the rest wait and share its result
+instead of compiling the same source N times in parallel.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from dataclasses import asdict
 from functools import lru_cache
 from pathlib import Path
@@ -45,6 +57,22 @@ from repro.pipeline import (
 )
 
 CACHE_SCHEMA = 1
+
+#: Default size cap of the disk cache; REPRO_CACHE_MAX_BYTES overrides
+#: (0 or a negative value lifts the cap).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def default_max_bytes() -> Optional[int]:
+    """The configured cap in bytes, or ``None`` for unbounded."""
+    raw = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+    if not raw:
+        return DEFAULT_MAX_BYTES
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_MAX_BYTES
+    return value if value > 0 else None
 
 #: Package subtrees whose source text participates in compilation.  The
 #: sim/ and sanitize/ trees are deliberately absent: they run *after*
@@ -109,14 +137,18 @@ class CompileCache:
         self,
         directory: Union[str, Path, None] = None,
         sink=None,
+        max_bytes: Union[int, None] = -1,
     ):
         if directory is None:
             directory = os.environ.get("REPRO_CACHE_DIR") or (
                 Path.home() / ".cache" / "repro-compile"
             )
         self.directory = Path(directory)
+        # -1 means "use the configured default"; None lifts the cap.
+        self.max_bytes = default_max_bytes() if max_bytes == -1 else max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         if sink is None:
             from repro.sanitize import DiagnosticSink
 
@@ -168,6 +200,10 @@ class CompileCache:
                 pass
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # refresh recency: eviction is LRU, not FIFO
+        except OSError:
+            pass
         return payload
 
     def store(self, key: str, payload: dict) -> None:
@@ -192,8 +228,65 @@ class CompileCache:
             except BaseException:
                 os.unlink(tmp)
                 raise
+            self.prune()
         except OSError:
             pass
+
+    def prune(self, max_bytes: Union[int, None] = -1) -> int:
+        """Evict oldest-mtime entries until the store fits ``max_bytes``
+        (default: the cache's own cap); returns how many were evicted.
+
+        The entry just stored is the newest, so a prune right after a
+        store can evict anything but it.  Concurrent pruners racing on
+        the same file are harmless: a lost unlink is just a miss.
+        """
+        if max_bytes == -1:
+            max_bytes = self.max_bytes
+        if max_bytes is None or not self.directory.is_dir():
+            return 0
+        entries = []
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort()
+        evicted = 0
+        for mtime, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def stats(self) -> Dict[str, object]:
+        """On-disk shape plus this process's hit/miss counters."""
+        entries = 0
+        total = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "bytes": total,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def clear(self) -> int:
         """Delete every entry (and stray temp files); returns how many
@@ -217,6 +310,60 @@ class CompileCache:
         if not self.directory.is_dir():
             return 0
         return sum(1 for _ in self.directory.glob("*.json"))
+
+
+class _Flight:
+    """One in-flight computation other threads can wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Per-key deduplication of concurrent identical computations.
+
+    ``do(key, fn)`` runs ``fn`` in exactly one of the threads that ask
+    for ``key`` while it is in flight; the others block and receive the
+    leader's result (or its exception).  Once the flight lands the key
+    is forgotten, so a later call computes afresh — the disk cache, not
+    this class, provides cross-call reuse.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: Dict[str, _Flight] = {}
+        self.shared = 0  # how many calls piggybacked on a leader
+
+    def do(self, key: str, fn):
+        """Returns ``(result, was_shared)``."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+            else:
+                leader = False
+                self.shared += 1
+        if leader:
+            try:
+                flight.value = fn()
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                flight.event.set()
+                with self._lock:
+                    self._flights.pop(key, None)
+            return flight.value, False
+        flight.event.wait()
+        if flight.error is not None:
+            raise flight.error
+        return flight.value, True
 
 
 def cache_enabled() -> bool:
@@ -290,6 +437,8 @@ def cached_compile_minic(
     machine: Union[str, MachineDescription] = "alpha",
     config: Union[str, PipelineConfig, None] = None,
     cache: Optional[CompileCache] = None,
+    flight: Optional[SingleFlight] = None,
+    cancel=None,
     **overrides,
 ) -> CompiledProgram:
     """``compile_minic`` with the disk cache wrapped around it.
@@ -301,6 +450,12 @@ def cached_compile_minic(
     bypass the cache too: a degraded program must not be revived as if
     it were the full compilation, and a hit would lose its
     ``pass_failures``.
+
+    ``flight`` (a :class:`SingleFlight`) dedups concurrent identical
+    keys: when the compile service's workers race on the same request,
+    one compiles and the rest share the result.  ``cancel`` is the
+    pipeline's cancellation probe (checked at stage boundaries); the
+    cache-hit path never reaches it.
     """
     if isinstance(machine, str):
         machine = get_machine(machine)
@@ -313,14 +468,21 @@ def cached_compile_minic(
         or config.disabled_passes
         or os.environ.get("REPRO_FAULTS")
     ):
-        return compile_minic(source, machine, config)
+        return compile_minic(source, machine, config, cancel=cancel)
 
     key = cache_key(source, machine.name, config)
-    payload = cache.lookup(key)
-    if payload is not None:
-        program = revive_program(payload, machine, config)
-        if program is not None:
-            return program
-    program = compile_minic(source, machine, config)
-    cache.store(key, serialize_program(program))
+
+    def compile_through_cache() -> CompiledProgram:
+        payload = cache.lookup(key)
+        if payload is not None:
+            revived = revive_program(payload, machine, config)
+            if revived is not None:
+                return revived
+        compiled = compile_minic(source, machine, config, cancel=cancel)
+        cache.store(key, serialize_program(compiled))
+        return compiled
+
+    if flight is None:
+        return compile_through_cache()
+    program, _ = flight.do(key, compile_through_cache)
     return program

@@ -105,6 +105,25 @@ class SimulationTimeout(SimulationError):
         self.block = block
 
 
+class DeadlineExceeded(ReproError):
+    """A compile or simulate request outlived its wall-clock budget.
+
+    Raised by the cancellation points the pipeline checks between
+    stages (and by the simulator's per-block deadline hook), so a
+    stuck request dies at the next pass boundary instead of holding a
+    worker forever.
+    """
+
+    def __init__(self, budget: float, elapsed: float, where: str = ""):
+        at = f" at {where}" if where else ""
+        super().__init__(
+            f"deadline of {budget:g}s exceeded after {elapsed:.3f}s{at}"
+        )
+        self.budget = budget
+        self.elapsed = elapsed
+        self.where = where
+
+
 class FaultInjected(ReproError):
     """An artificial failure raised by the fault-injection harness.
 

@@ -171,6 +171,8 @@ def compile_minic(
     config: Union[str, PipelineConfig, None] = None,
     faults=None,
     crash_dir: Optional[str] = None,
+    cancel=None,
+    max_bundles: Optional[int] = None,
     **overrides,
 ) -> CompiledProgram:
     """Compile MiniC ``source`` for ``machine`` under ``config``.
@@ -179,7 +181,15 @@ def compile_minic(
     (defaulting to ``REPRO_FAULTS`` from the environment) used to
     chaos-test the recovery machinery.  ``crash_dir`` (default
     ``REPRO_CRASH_DIR``) enables reproducer-bundle serialization for
-    every recovered pass failure.
+    every recovered pass failure; ``max_bundles`` caps how many bundles
+    the directory keeps (default ``REPRO_MAX_BUNDLES`` or 20).
+
+    ``cancel`` is an optional zero-argument callable invoked at every
+    stage boundary (a *cancellation point*); raising from it — the
+    compile service raises :class:`repro.errors.DeadlineExceeded` —
+    aborts the compilation between passes without being mistaken for a
+    pass failure.  It is also installed as the fault plan's
+    ``cancel_check`` so an injected ``sleep`` stall is cut short.
     """
     if isinstance(machine, str):
         machine = get_machine(machine)
@@ -188,9 +198,13 @@ def compile_minic(
         from repro.resilience.faults import FaultPlan
 
         faults = FaultPlan.from_env()
+    if faults is not None and cancel is not None:
+        faults.cancel_check = cancel
     if crash_dir is None:
         crash_dir = os.environ.get("REPRO_CRASH_DIR") or None
 
+    if cancel is not None:
+        cancel()
     frontend_started = time.perf_counter()
     module = compile_source(source, word_bytes=machine.word_bytes)
     frontend_seconds = time.perf_counter() - frontend_started
@@ -230,13 +244,22 @@ def compile_minic(
         crash_dir=crash_dir,
         disabled=config.disabled_passes,
         verify=config.verify,
+        max_bundles=max_bundles,
     )
 
     def stage(func: Function, name: str, thunk) -> object:
-        """Run one per-function stage as a guarded transaction."""
+        """Run one per-function stage as a guarded transaction.
+
+        The ``cancel`` probe runs *outside* the guard: a deadline abort
+        must propagate, never be rolled back as a pass failure.
+        """
+        if cancel is not None:
+            cancel()
         return guard.stage(ctx, name, thunk, func=func)
 
     def module_stage(name: str, thunk) -> None:
+        if cancel is not None:
+            cancel()
         guard.stage(ctx, name, thunk)
 
     for func in module:

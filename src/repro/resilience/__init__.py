@@ -26,8 +26,19 @@ discipline to the compiler itself:
   delta-debugs the pass list (and unroll factors) down to the minimal
   failing set, then greedily shrinks the Mini-C source while the failure
   still reproduces, bugpoint-style.
+* :mod:`repro.resilience.classify` — the retryable / degrade / fatal
+  failure taxonomy the compile service's retry and circuit-breaker
+  logic is built on.
 """
 
+from repro.resilience.classify import (
+    DEGRADE,
+    FAILURE_CLASSES,
+    FATAL,
+    RETRYABLE,
+    classify_failure,
+    is_retryable,
+)
 from repro.resilience.faults import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.resilience.transaction import (
     PASS_FAILURE_POLICIES,
@@ -38,6 +49,12 @@ from repro.resilience.transaction import (
 )
 
 __all__ = [
+    "DEGRADE",
+    "FAILURE_CLASSES",
+    "FATAL",
+    "RETRYABLE",
+    "classify_failure",
+    "is_retryable",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",

@@ -35,6 +35,65 @@ from repro.resilience.transaction import PassFailure
 BUNDLE_SCHEMA = 1
 BUNDLE_PREFIX = "repro_crash_"
 
+#: How many bundles one crash directory keeps before the oldest are
+#: evicted; REPRO_MAX_BUNDLES or --max-bundles override.
+DEFAULT_MAX_BUNDLES = 20
+
+
+def default_max_bundles() -> int:
+    try:
+        return max(1, int(os.environ.get(
+            "REPRO_MAX_BUNDLES", DEFAULT_MAX_BUNDLES
+        )))
+    except ValueError:
+        return DEFAULT_MAX_BUNDLES
+
+
+def _bundle_age(path: Path) -> tuple:
+    """Sort key: manifest creation time (mtime fallback), oldest first."""
+    try:
+        manifest = json.loads((path / "manifest.json").read_text())
+        created = int(manifest.get("created_unix", 0))
+    except (OSError, ValueError):
+        created = 0
+    try:
+        mtime = path.stat().st_mtime
+    except OSError:
+        mtime = 0.0
+    return (created, mtime, path.name)
+
+
+def prune_bundles(
+    directory: Union[str, Path],
+    max_bundles: Optional[int] = None,
+) -> list:
+    """Evict oldest-first until at most ``max_bundles`` bundles remain.
+
+    Returns the paths removed.  Unbounded crash directories are a real
+    operational hazard (a crash-looping service writes a bundle per
+    recovered failure); the cap keeps disk usage bounded while always
+    retaining the newest reproducers.
+    """
+    import shutil
+
+    if max_bundles is None:
+        max_bundles = default_max_bundles()
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    bundles = sorted(
+        (p for p in directory.glob(f"{BUNDLE_PREFIX}*") if p.is_dir()),
+        key=_bundle_age,
+    )
+    removed = []
+    for path in bundles[: max(0, len(bundles) - max_bundles)]:
+        try:
+            shutil.rmtree(path)
+            removed.append(str(path))
+        except OSError:
+            pass  # eviction is best-effort, never a crash
+    return removed
+
 
 def _git_sha() -> str:
     """The repository HEAD, or 'unknown' outside a git checkout."""
@@ -76,11 +135,14 @@ def write_bundle(
     config,
     directory: Union[str, Path] = ".",
     faults: str = "",
+    max_bundles: Optional[int] = None,
 ) -> str:
     """Serialize one recovered failure; returns the bundle path.
 
     Idempotent: the directory name is a hash of the failure identity, so
-    re-recovering the same failure reuses the existing bundle.
+    re-recovering the same failure reuses the existing bundle.  After a
+    new bundle is written the directory is pruned to ``max_bundles``
+    (``REPRO_MAX_BUNDLES``, default 20), oldest-first.
     """
     config_dict = asdict(config) if config is not None else {}
     config_json = json.dumps(config_dict, sort_keys=True)
@@ -123,6 +185,7 @@ def write_bundle(
         json.dump(manifest, handle, indent=1, sort_keys=True)
         handle.write("\n")
     os.replace(tmp, bundle / "manifest.json")
+    prune_bundles(directory, max_bundles)
     return str(bundle)
 
 

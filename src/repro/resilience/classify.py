@@ -1,0 +1,82 @@
+"""Failure classification: what a caller should *do* about an error.
+
+The compile service (and any other retrying caller) needs a single
+answer per failure: try again, fall back to a degraded compilation, or
+give up.  The taxonomy mirrors the paper's run-time decision tree — the
+preheader checks either pass (full speed), fail recoverably (take the
+safe loop), or the program itself is wrong (no loop can help):
+
+==============  ===========================================================
+``retryable``   transient: deadline blown, connection lost, queue full —
+                the identical request may succeed later
+``degrade``     the optimizer is at fault: an injected or organic pass
+                crash, IR corruption, a miscompile — recompile with the
+                offending passes disabled (the Fig. 5 safe-loop move)
+``fatal``       the *input* is at fault: parse/semantic errors, runtime
+                faults in the simulated program — retrying or degrading
+                the same request cannot succeed
+==============  ===========================================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    DeadlineExceeded,
+    FaultInjected,
+    IRError,
+    LintError,
+    LoweringError,
+    ParseError,
+    PassError,
+    ReproError,
+    SemanticError,
+    SimulationError,
+    SimulationTimeout,
+)
+
+FAILURE_CLASSES = ("retryable", "degrade", "fatal")
+
+RETRYABLE = "retryable"
+DEGRADE = "degrade"
+FATAL = "fatal"
+
+
+def classify_failure(exc: BaseException, phase: str = "compile") -> str:
+    """One of :data:`FAILURE_CLASSES` for ``exc``.
+
+    ``phase`` is ``'compile'`` or ``'simulate'``: a
+    :class:`SimulationTimeout` *during compilation* is a stalled pass
+    (degrade it away), while during simulation it means the program ran
+    past its step budget (retrying with a bigger budget may help, a
+    degraded recompile will not).
+    """
+    if isinstance(exc, DeadlineExceeded):
+        return RETRYABLE
+    if isinstance(exc, (ConnectionError, TimeoutError, InterruptedError)):
+        return RETRYABLE
+    if isinstance(exc, (ParseError, SemanticError)):
+        return FATAL
+    if isinstance(exc, SimulationTimeout):
+        return DEGRADE if phase == "compile" else RETRYABLE
+    if isinstance(exc, (FaultInjected, IRError, LintError,
+                        LoweringError, PassError)):
+        return DEGRADE
+    if isinstance(exc, SimulationError):
+        # A bad address / alignment trap is the simulated program (or a
+        # miscompile the sanitizer missed) — during compilation that is
+        # the optimizer's doing, at run time it is the input's.
+        return DEGRADE if phase == "compile" else FATAL
+    if isinstance(exc, ReproError):
+        return DEGRADE if phase == "compile" else FATAL
+    if isinstance(exc, OSError):
+        return RETRYABLE
+    if isinstance(exc, (MemoryError, RecursionError)):
+        return FATAL
+    # An arbitrary Python exception escaping a pass is exactly what
+    # graceful degradation exists for; outside compilation there is no
+    # safe fallback to take.
+    return DEGRADE if phase == "compile" else FATAL
+
+
+def is_retryable(exc: BaseException, phase: str = "compile") -> bool:
+    return classify_failure(exc, phase) == RETRYABLE

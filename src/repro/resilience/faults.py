@@ -20,6 +20,11 @@ Three fault kinds:
            verifier must catch it
 ``stall``  raise :class:`repro.errors.SimulationTimeout`, emulating a
            stalled pass or a diverging simulation
+``sleep``  actually stall: block the pass for ``seconds`` of wall clock
+           (``site=sleep:0.5``), then continue normally.  Sleeps in
+           small slices and honours :attr:`FaultPlan.cancel_check`, so
+           a deadline can cut the stall short — this is how the
+           compile service's per-request deadlines are exercised.
 =========  ==============================================================
 
 Plans come from the ``REPRO_FAULTS`` environment variable (picked up by
@@ -32,12 +37,18 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FaultInjected, ReproError, SimulationTimeout
 
-FAULT_KINDS = ("raise", "corrupt", "stall")
+FAULT_KINDS = ("raise", "corrupt", "stall", "sleep")
+
+#: Slice width of a ``sleep`` fault: the stall is interruptible at this
+#: granularity whenever a ``cancel_check`` is installed.
+SLEEP_SLICE = 0.01
 
 #: Prefix of simulator block sites: ``sim:<function>/<block>``.
 SIM_SITE_PREFIX = "sim:"
@@ -50,6 +61,7 @@ class FaultSpec:
     site: str
     kind: str = "raise"
     hit: int = 1
+    seconds: float = 0.0          # wall-clock stall of a 'sleep' fault
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -59,9 +71,13 @@ class FaultSpec:
             )
         if self.hit < 1:
             raise ReproError(f"fault hit count must be >= 1, got {self.hit}")
+        if self.seconds < 0:
+            raise ReproError("fault sleep seconds must be >= 0")
 
     def __str__(self) -> str:
         text = f"{self.site}={self.kind}"
+        if self.kind == "sleep" and self.seconds:
+            text += f":{self.seconds:g}"
         if self.hit != 1:
             text += f"@{self.hit}"
         return text
@@ -100,6 +116,13 @@ class FaultPlan:
                 raise ReproError(f"unknown fault kind {kind!r}")
         self._arrivals: Dict[str, int] = {}
         self.fired: List[FaultSpec] = []
+        # Arrival counting must be safe under the compile service, where
+        # one long-lived plan is consulted by concurrent worker threads.
+        self._lock = threading.Lock()
+        # Optional cooperative-cancellation probe (raises to abort); the
+        # pipeline installs its deadline check here so 'sleep' faults
+        # cannot outlive the request that triggered them.
+        self.cancel_check = None
 
     def __bool__(self) -> bool:
         return bool(self.specs) or self.seed is not None
@@ -147,8 +170,17 @@ class FaultPlan:
                 )
             else:
                 kind, at, hit = value.partition("@")
+                kind, colon, amount = kind.partition(":")
+                if colon and kind.strip() != "sleep":
+                    raise ReproError(
+                        f"bad fault entry {entry!r}: only 'sleep' takes "
+                        "a ':seconds' amount"
+                    )
                 specs.append(
-                    FaultSpec(key, kind.strip(), int(hit) if at else 1)
+                    FaultSpec(
+                        key, kind.strip(), int(hit) if at else 1,
+                        seconds=float(amount) if colon else 0.0,
+                    )
                 )
         return cls(specs, seed=seed, rate=rate, kinds=kinds)
 
@@ -173,28 +205,47 @@ class FaultPlan:
         (e.g. ``unroll:dot`` for the per-function form of an ``unroll``
         site).  The returned spec is recorded in :attr:`fired`.
         """
-        arrival = self._arrivals.get(site, 0) + 1
-        self._arrivals[site] = arrival
-        names = (site,) + tuple(aliases)
-        for spec in self.specs:
-            if spec.site in names and spec.hit == arrival:
+        with self._lock:
+            arrival = self._arrivals.get(site, 0) + 1
+            self._arrivals[site] = arrival
+            names = (site,) + tuple(aliases)
+            for spec in self.specs:
+                if spec.site in names and spec.hit == arrival:
+                    self.fired.append(spec)
+                    return spec
+            if self.specs or self.seed is None:
+                return None
+            if _chance(self.seed, site, arrival) < self.rate:
+                kind = self.kinds[
+                    int(
+                        _chance(self.seed + 1, site, arrival)
+                        * len(self.kinds)
+                    )
+                    % len(self.kinds)
+                ]
+                spec = FaultSpec(site, kind, arrival)
                 self.fired.append(spec)
                 return spec
-        if self.specs or self.seed is None:
             return None
-        if _chance(self.seed, site, arrival) < self.rate:
-            kind = self.kinds[
-                int(_chance(self.seed + 1, site, arrival) * len(self.kinds))
-                % len(self.kinds)
-            ]
-            spec = FaultSpec(site, kind, arrival)
-            self.fired.append(spec)
-            return spec
-        return None
 
     # -- execution ----------------------------------------------------------
     def execute(self, spec: FaultSpec) -> None:
-        """Raise the planted failure for a ``raise``/``stall`` spec."""
+        """Act out a ``raise``/``stall``/``sleep`` spec.
+
+        ``raise`` and ``stall`` raise; ``sleep`` blocks for the spec's
+        wall-clock amount (sliced, honouring :attr:`cancel_check`) and
+        returns so the pass then runs normally — a genuinely slow pass
+        rather than a failing one.
+        """
+        if spec.kind == "sleep":
+            end = time.monotonic() + spec.seconds
+            while True:
+                if self.cancel_check is not None:
+                    self.cancel_check()
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return
+                time.sleep(min(SLEEP_SLICE, remaining))
         if spec.kind == "stall":
             raise SimulationTimeout(
                 0, limit=0, function=spec.site,

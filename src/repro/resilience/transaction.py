@@ -130,6 +130,7 @@ class PassGuard:
         crash_dir: Optional[str] = None,
         disabled: tuple = (),
         verify: bool = True,
+        max_bundles: Optional[int] = None,
     ):
         if policy not in PASS_FAILURE_POLICIES:
             from repro.errors import ReproError
@@ -147,6 +148,7 @@ class PassGuard:
         self.source = source
         self.config = config
         self.crash_dir = crash_dir
+        self.max_bundles = max_bundles
         self.disabled: Set[str] = set(disabled)
         self.verify = verify
         self.armed = policy != "raise" or bool(faults)
@@ -192,7 +194,7 @@ class PassGuard:
         result = None
         started = time.perf_counter()
         try:
-            if spec is not None and spec.kind in ("raise", "stall"):
+            if spec is not None and spec.kind in ("raise", "stall", "sleep"):
                 self.faults.execute(spec)
             result = thunk()
             if spec is not None and spec.kind == "corrupt":
@@ -297,6 +299,7 @@ class PassGuard:
                 config=self.config,
                 directory=self.crash_dir,
                 faults=str(self.faults) if self.faults else "",
+                max_bundles=self.max_bundles,
             )
         except OSError:
             pass  # bundle writing must never turn recovery into a crash

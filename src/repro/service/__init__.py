@@ -1,0 +1,51 @@
+"""Compile-as-a-service: the paper's graceful degradation, one layer up.
+
+The paper's run-time story (Fig. 5, §2.2) is *degraded, not dead*: when
+the preheader alias/alignment/trip-count checks fail, execution falls
+back to the safe uncoalesced loop instead of faulting.  PR 3 moved that
+discipline into the compiler (transactional passes, skip/fallback);
+this package moves it up to the process boundary — the whole
+compile+simulate pipeline exposed as a long-running, fault-tolerant
+service:
+
+* :mod:`repro.service.protocol` — the JSON-lines request/response
+  protocol spoken over a local Unix socket;
+* :mod:`repro.service.server` — ``python -m repro serve``: a bounded
+  request queue with load shedding, a worker pool sharing the disk
+  compile cache (with single-flight dedup), per-request deadlines
+  enforced at the pipeline's cancellation points, and per-(machine,
+  config) circuit breakers that serve *degraded* compiles (offending
+  passes disabled) while open;
+* :mod:`repro.service.client` — ``python -m repro submit``: a client
+  with exponential-backoff-plus-jitter retries for retryable failures
+  (connection refused, load-shed rejections, deadline timeouts);
+* :mod:`repro.service.breaker` — the circuit-breaker state machine
+  (closed → open → half-open → closed).
+"""
+
+from repro.service.breaker import (
+    BREAKER_STATES,
+    BreakerBoard,
+    CircuitBreaker,
+)
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    RETRYABLE_STATUSES,
+    ProtocolError,
+    default_socket_path,
+)
+from repro.service.server import CompileServer
+
+__all__ = [
+    "BREAKER_STATES",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "CompileServer",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RETRYABLE_STATUSES",
+    "ServiceClient",
+    "ServiceUnavailable",
+    "default_socket_path",
+]

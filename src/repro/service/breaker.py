@@ -1,0 +1,178 @@
+"""Per-(machine, config) circuit breakers for the compile service.
+
+The paper guards every coalesced loop with cheap preheader checks and
+falls back to the safe loop when they fail (Fig. 5).  The breaker is the
+same idea amortized over *requests*: once a pass configuration has
+failed ``threshold`` consecutive times, stop running it — serve
+requests *degraded* (the offending passes disabled, which both avoids
+the crash and skips the doomed work) until a cooldown elapses, then let
+one half-open probe try the full pipeline again.
+
+State machine::
+
+            K consecutive failures              cooldown elapsed
+    CLOSED ───────────────────────────▶ OPEN ───────────────────▶ HALF-OPEN
+       ▲                                 ▲                            │
+       │            probe succeeds       │       probe fails          │
+       └─────────────────────────────────┴────────────◀───────────────┘
+
+While OPEN (and while a HALF-OPEN probe is in flight), every other
+request for the key is served degraded.  All transitions are
+thread-safe; the clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+BREAKER_STATES = (CLOSED, OPEN, HALF_OPEN)
+
+#: Consecutive pass failures before the circuit opens.
+DEFAULT_THRESHOLD = 3
+#: Seconds an open circuit waits before allowing a half-open probe.
+DEFAULT_COOLDOWN = 30.0
+
+#: What :meth:`CircuitBreaker.acquire` tells the caller to do.
+MODE_FULL = "full"          # run the complete pipeline
+MODE_PROBE = "probe"        # run it, but report back (half-open probe)
+MODE_DEGRADED = "degraded"  # compile with the bad passes disabled
+
+
+class CircuitBreaker:
+    """One key's failure history and serving mode."""
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_THRESHOLD,
+        cooldown: float = DEFAULT_COOLDOWN,
+        clock=time.monotonic,
+    ):
+        self.threshold = max(1, threshold)
+        self.cooldown = cooldown
+        self.clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.bad_passes: Set[str] = set()
+        self.opened_at: Optional[float] = None
+        self.times_opened = 0
+        self.times_closed = 0
+        self.served_degraded = 0
+        self._probe_in_flight = False
+        self._lock = threading.Lock()
+
+    # -- serving decisions --------------------------------------------------
+    def acquire(self) -> str:
+        """How the next request for this key should be served."""
+        with self._lock:
+            if self.state == CLOSED:
+                return MODE_FULL
+            if (
+                self.state == OPEN
+                and self.clock() - self.opened_at >= self.cooldown
+                and not self._probe_in_flight
+            ):
+                self.state = HALF_OPEN
+                self._probe_in_flight = True
+                return MODE_PROBE
+            if self.state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return MODE_PROBE
+            self.served_degraded += 1
+            return MODE_DEGRADED
+
+    # -- outcome reporting --------------------------------------------------
+    def record_success(self, probe: bool = False) -> None:
+        """A full-pipeline compile finished clean."""
+        with self._lock:
+            self.consecutive_failures = 0
+            if probe:
+                self._probe_in_flight = False
+            if self.state != CLOSED:
+                self.state = CLOSED
+                self.times_closed += 1
+                self.opened_at = None
+                # The fault is gone; forget which passes it poisoned so a
+                # future incident starts from fresh evidence.
+                self.bad_passes.clear()
+
+    def record_failure(
+        self, passes: Tuple[str, ...] = (), probe: bool = False
+    ) -> None:
+        """A full-pipeline compile degraded or died; ``passes`` names the
+        stages that failed (they are disabled while the circuit is open)."""
+        with self._lock:
+            self.bad_passes.update(passes)
+            self.consecutive_failures += 1
+            if probe:
+                self._probe_in_flight = False
+                self.state = OPEN          # the probe failed: re-open
+                self.opened_at = self.clock()
+            elif (
+                self.state == CLOSED
+                and self.consecutive_failures >= self.threshold
+            ):
+                self.state = OPEN
+                self.opened_at = self.clock()
+                self.times_opened += 1
+
+    def release_probe(self) -> None:
+        """The probe ended without a verdict (deadline, bad input): let
+        the next request probe instead of wedging half-open forever."""
+        with self._lock:
+            self._probe_in_flight = False
+
+    # -- introspection ------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "bad_passes": sorted(self.bad_passes),
+                "threshold": self.threshold,
+                "cooldown": self.cooldown,
+                "times_opened": self.times_opened,
+                "times_closed": self.times_closed,
+                "served_degraded": self.served_degraded,
+            }
+
+
+class BreakerBoard:
+    """The service's breakers, one per (machine, config-name) key."""
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_THRESHOLD,
+        cooldown: float = DEFAULT_COOLDOWN,
+        clock=time.monotonic,
+    ):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def get(self, machine: str, config_name: str) -> CircuitBreaker:
+        key = (machine, config_name)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self.threshold, self.cooldown, self.clock
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            items: List[Tuple[Tuple[str, str], CircuitBreaker]] = sorted(
+                self._breakers.items()
+            )
+        return {
+            f"{machine}/{config}": breaker.snapshot()
+            for (machine, config), breaker in items
+        }

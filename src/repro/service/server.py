@@ -1,0 +1,645 @@
+"""``python -m repro serve`` — the concurrent compile server.
+
+Architecture (all threads, one process)::
+
+    accept thread ──▶ connection threads ──▶ bounded queue ──▶ workers
+                          │  (parse, validate,    │  (load-shed      │
+                          │   answer status/ping  │   when full:     │
+                          │   inline)             │   'rejected')    │
+                          └──────────── responses ◀──────────────────┘
+
+Robustness properties, in the order a request meets them:
+
+* **Backpressure + load shedding** — the request queue is bounded;
+  past the high-water mark a request is answered ``rejected``
+  (429-style) immediately instead of queueing unboundedly.  The client
+  retries with backoff, so shed load is deferred, not dropped.
+* **Deadlines** — each request carries a wall-clock budget measured
+  from *enqueue* (queue time spends budget).  Workers install the
+  deadline as the pipeline's cancellation probe, so a stuck compile is
+  cut at the next pass boundary — and mid-stall for ``sleep`` faults,
+  which honour the probe.  Simulations check it per executed block.
+* **Circuit breakers** — every full-pipeline compile reports its
+  outcome to the per-(machine, config) breaker.  After K consecutive
+  pass failures the circuit opens and requests are served *degraded*:
+  compiled with the offending passes disabled (the paper's Fig. 5
+  safe-loop fallback, one layer up), flagged as such in the response.
+  After a cooldown, one half-open probe runs the full pipeline; success
+  re-closes the circuit.
+* **Graceful degradation** — a degrade-class failure (see
+  :mod:`repro.resilience.classify`) never kills the request: the server
+  recompiles under ``on_pass_failure='fallback'`` and returns a correct,
+  less-optimized program with ``status='degraded'``.
+
+Workers share the disk compile cache across requests, with
+single-flight dedup of identical in-flight keys (two concurrent
+requests for the same (source, machine, config) compile once).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DeadlineExceeded, ReproError
+from repro.machine import get_machine
+from repro.pipeline import compile_minic, get_config
+from repro.resilience.classify import DEGRADE, classify_failure
+from repro.resilience.faults import FaultPlan
+from repro.service import protocol
+from repro.service.breaker import (
+    DEFAULT_COOLDOWN,
+    DEFAULT_THRESHOLD,
+    MODE_DEGRADED,
+    MODE_PROBE,
+    BreakerBoard,
+)
+
+DEFAULT_WORKERS = 2
+DEFAULT_QUEUE_LIMIT = 16
+
+_SHUTDOWN = object()  # worker sentinel
+
+
+class _Connection:
+    """One accepted client socket plus its write lock.
+
+    The connection thread (rejections, status) and worker threads
+    (results) both write responses; the lock keeps frames whole.
+    """
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.rfile = sock.makefile("rb")
+        self.lock = threading.Lock()
+
+    def send(self, message: dict) -> None:
+        try:
+            with self.lock:
+                protocol.send_message(self.sock, message)
+        except OSError:
+            pass  # client went away; its loss
+
+    def close(self) -> None:
+        for closer in (self.rfile.close, self.sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+
+class _Stats:
+    """Thread-safe monotone counters for the status endpoint."""
+
+    FIELDS = (
+        "accepted", "completed", "ok", "degraded", "rejected",
+        "timeouts", "errors", "protocol_errors", "in_flight",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {field: 0 for field in self.FIELDS}
+
+    def bump(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[field] += amount
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+class CompileServer:
+    """The long-running compile/simulate/bench service."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        workers: int = DEFAULT_WORKERS,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        breaker_threshold: int = DEFAULT_THRESHOLD,
+        breaker_cooldown: float = DEFAULT_COOLDOWN,
+        default_deadline: Optional[float] = None,
+        cache=None,
+        faults: Optional[FaultPlan] = None,
+        crash_dir: Optional[str] = None,
+    ):
+        from repro.bench.cache import SingleFlight, default_cache
+
+        self.socket_path = socket_path or protocol.default_socket_path()
+        self.workers = max(1, workers)
+        self.queue_limit = max(1, queue_limit)
+        self.default_deadline = default_deadline
+        self.cache = cache if cache is not None else default_cache()
+        self.flight = SingleFlight()
+        self.breakers = BreakerBoard(breaker_threshold, breaker_cooldown)
+        # One long-lived plan shared by every compile, so arrival counts
+        # span requests: 'coalesce=raise@3' means "the third coalesce
+        # the *server* runs", which is how tests stage transient faults
+        # that the breaker then recovers from.
+        self.faults = (
+            faults if faults is not None else FaultPlan.from_env()
+        )
+        self.crash_dir = crash_dir or os.environ.get("REPRO_CRASH_DIR")
+        self.stats = _Stats()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.queue_limit)
+        self._listener = None
+        self._threads: List[threading.Thread] = []
+        self._connections: set = set()
+        self._conn_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._started_at: Optional[float] = None
+        self._tls = threading.local()
+        if self.faults is not None:
+            # One shared, thread-aware cancellation probe: each worker
+            # parks its own deadline in thread-local state, so a 'sleep'
+            # fault in one request can never be cut by another's clock.
+            self.faults.cancel_check = self._cancel
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Bind the socket and spawn the accept + worker threads."""
+        self._listener = protocol.bind(self.socket_path)
+        self._started_at = time.monotonic()
+        accept = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+        for index in range(self.workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._threads.append(worker)
+
+    def serve_forever(self) -> None:
+        """start() and block until a shutdown request (or Ctrl-C)."""
+        self.start()
+        try:
+            self._stopped.wait()
+        except KeyboardInterrupt:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Graceful stop: refuse new work, drain the queue, then exit.
+
+        Idempotent and thread-safe; callable from a connection thread
+        (the ``shutdown`` op spawns it on a side thread to avoid
+        joining itself).
+        """
+        with self._shutdown_lock:
+            if self._stopped.is_set():
+                return
+            self._stopping.set()
+            if self._listener is not None:
+                # Closing a socket another thread is blocked in accept()
+                # on does not reliably wake it; shutdown() does, and the
+                # self-connect nudge covers platforms where it doesn't.
+                try:
+                    self._listener.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    nudge = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    nudge.settimeout(0.25)
+                    nudge.connect(self.socket_path)
+                    nudge.close()
+                except OSError:
+                    pass
+                try:
+                    self._listener.close()
+                except OSError:
+                    pass
+            # Sentinels queue *behind* already-accepted work: FIFO order
+            # means every accepted request is answered before exit.
+            for _ in range(self.workers):
+                self._queue.put(_SHUTDOWN)
+            for thread in self._threads:
+                if thread is not threading.current_thread():
+                    thread.join(timeout=30.0)
+            with self._conn_lock:
+                connections = list(self._connections)
+            for conn in connections:
+                conn.close()
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+            self._stopped.set()
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None and not self._stopped.is_set()
+
+    # -- accept / connection handling ---------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed: shutting down
+            conn = _Connection(sock)
+            with self._conn_lock:
+                self._connections.add(conn)
+            thread = threading.Thread(
+                target=self._connection_loop,
+                args=(conn,),
+                name="repro-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _connection_loop(self, conn: _Connection) -> None:
+        try:
+            while True:
+                try:
+                    request = protocol.recv_message(conn.rfile)
+                except protocol.ProtocolError as exc:
+                    self.stats.bump("protocol_errors")
+                    conn.send(protocol.make_response(
+                        None, protocol.STATUS_ERROR,
+                        error=str(exc), retryable=False,
+                    ))
+                    return
+                except OSError:
+                    return
+                if request is None:
+                    return  # clean EOF
+                self._dispatch(conn, request)
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+            conn.close()
+
+    def _dispatch(self, conn: _Connection, request: dict) -> None:
+        request_id = request.get("id")
+        complaint = protocol.validate_request(request)
+        if complaint is not None:
+            self.stats.bump("protocol_errors")
+            conn.send(protocol.make_response(
+                request_id, protocol.STATUS_ERROR,
+                error=complaint, retryable=False,
+            ))
+            return
+        op = request["op"]
+        if op == "ping":
+            conn.send(protocol.make_response(
+                request_id, protocol.STATUS_OK, pong=True,
+            ))
+            return
+        if op == "status":
+            conn.send(protocol.make_response(
+                request_id, protocol.STATUS_OK, **self._status_payload()
+            ))
+            return
+        if op == "shutdown":
+            conn.send(protocol.make_response(
+                request_id, protocol.STATUS_OK, stopping=True,
+            ))
+            threading.Thread(target=self.shutdown, daemon=True).start()
+            return
+        if self._stopping.is_set():
+            conn.send(protocol.make_response(
+                request_id, protocol.STATUS_SHUTTING_DOWN,
+                error="server is draining",
+            ))
+            return
+        item = (request, conn, time.monotonic())
+        try:
+            self._queue.put_nowait(item)
+            self.stats.bump("accepted")
+        except queue.Full:
+            # Load shedding: answer now, let the client back off.
+            self.stats.bump("rejected")
+            conn.send(protocol.make_response(
+                request_id, protocol.STATUS_REJECTED,
+                error=(
+                    f"request queue is full "
+                    f"({self.queue_limit} outstanding); retry with backoff"
+                ),
+                queue_limit=self.queue_limit,
+            ))
+
+    # -- deadline plumbing --------------------------------------------------
+    def _cancel(self) -> None:
+        """The shared cancellation probe: raises when the *current
+        thread's* request has outlived its deadline."""
+        info = getattr(self._tls, "deadline", None)
+        if info is None:
+            return
+        budget, deadline_at = info
+        now = time.monotonic()
+        if now > deadline_at:
+            raise DeadlineExceeded(budget, budget + (now - deadline_at))
+
+    def _arm_deadline(
+        self, request: dict, enqueued_at: float
+    ) -> Optional[float]:
+        budget = request.get("deadline", self.default_deadline)
+        if budget is None:
+            self._tls.deadline = None
+            return None
+        budget = float(budget)
+        self._tls.deadline = (budget, enqueued_at + budget)
+        return budget
+
+    # -- workers ------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            request, conn, enqueued_at = item
+            self.stats.bump("in_flight")
+            try:
+                response = self._process(request, enqueued_at)
+            except Exception as exc:  # noqa: BLE001 — a worker must survive anything
+                self.stats.bump("errors")
+                response = protocol.make_response(
+                    request.get("id"), protocol.STATUS_ERROR,
+                    error=f"{type(exc).__name__}: {exc}",
+                    retryable=False,
+                )
+            finally:
+                self.stats.bump("in_flight", -1)
+                self._tls.deadline = None
+            conn.send(response)
+
+    def _process(self, request: dict, enqueued_at: float) -> dict:
+        request_id = request.get("id")
+        budget = self._arm_deadline(request, enqueued_at)
+        op = request["op"]
+        started = time.monotonic()
+        try:
+            if op == "compile":
+                fields = self._do_compile(request)
+            elif op == "simulate":
+                fields = self._do_simulate(request)
+            else:
+                fields = self._do_bench(request)
+        except DeadlineExceeded as exc:
+            self.stats.bump("timeouts")
+            return protocol.make_response(
+                request_id, protocol.STATUS_TIMEOUT,
+                error=str(exc), deadline=budget,
+                elapsed=round(time.monotonic() - enqueued_at, 6),
+            )
+        except ReproError as exc:
+            cls = classify_failure(
+                exc, "simulate" if op == "simulate" else "compile"
+            )
+            self.stats.bump("errors")
+            return protocol.make_response(
+                request_id, protocol.STATUS_ERROR,
+                error=str(exc), error_type=type(exc).__name__,
+                classification=cls, retryable=cls == "retryable",
+            )
+        status = (
+            protocol.STATUS_DEGRADED if fields.pop("_degraded", False)
+            else protocol.STATUS_OK
+        )
+        self.stats.bump("completed")
+        self.stats.bump("degraded" if status != protocol.STATUS_OK else "ok")
+        fields.setdefault(
+            "wall_seconds", round(time.monotonic() - started, 6)
+        )
+        return protocol.make_response(request_id, status, **fields)
+
+    # -- the compile path ---------------------------------------------------
+    def _compile_program(self, request: dict):
+        """Compile under breaker control; returns (program, fields).
+
+        ``fields['_degraded']`` flags a response that must be marked
+        degraded (pass failures recovered, or served with the breaker
+        open and passes pre-disabled).
+        """
+        machine = get_machine(request.get("machine", "alpha"))
+        overrides = dict(request.get("overrides") or {})
+        try:
+            config = get_config(request.get("config", "vpo"), **overrides)
+        except TypeError as exc:
+            raise ReproError(f"bad overrides: {exc}") from None
+        breaker = self.breakers.get(machine.name, config.name)
+        request_plan = FaultPlan.parse(request.get("faults"))
+        plan = request_plan if request_plan is not None else self.faults
+        mode = breaker.acquire()
+
+        if mode == MODE_DEGRADED:
+            disabled = tuple(sorted(
+                set(config.disabled_passes) | breaker.bad_passes
+            ))
+            program = compile_minic(
+                request["source"], machine,
+                replace(
+                    config,
+                    disabled_passes=disabled,
+                    on_pass_failure="skip",
+                ),
+                faults=plan, cancel=self._cancel,
+                crash_dir=self.crash_dir,
+            )
+            failed = tuple(sorted(
+                {f.pass_name for f in program.pass_failures}
+            ))
+            return program, {
+                "_degraded": True,
+                "machine": machine.name,
+                "config": config.name,
+                "breaker": breaker.snapshot()["state"],
+                "disabled_passes": list(disabled),
+                "pass_failures": [
+                    f.describe() for f in program.pass_failures
+                ],
+                "cache_hit": False,
+                "coalesced_loops": program.coalesced_loops,
+                "recovered_passes": list(failed),
+            }
+
+        # Full pipeline (closed circuit, or the half-open probe).
+        try:
+            if plan is None:
+                from repro.bench.cache import cached_compile_minic
+
+                program = cached_compile_minic(
+                    request["source"], machine, config,
+                    cache=self.cache, flight=self.flight,
+                    cancel=self._cancel,
+                )
+            else:
+                program = compile_minic(
+                    request["source"], machine, config,
+                    faults=plan, cancel=self._cancel,
+                    crash_dir=self.crash_dir,
+                    on_pass_failure="fallback",
+                )
+        except Exception as exc:  # noqa: BLE001 — classified below
+            if mode == MODE_PROBE:
+                breaker.release_probe()
+            if classify_failure(exc, "compile") != DEGRADE:
+                raise  # fatal (bad input) or retryable (deadline): not ours
+            # Organic degrade-class failure on the cached fast path:
+            # take the safe-loop move — recompile with recovery on.
+            program = compile_minic(
+                request["source"], machine, config,
+                cancel=self._cancel, crash_dir=self.crash_dir,
+                on_pass_failure="fallback",
+            )
+
+        if program.degraded:
+            failed = tuple(sorted(
+                {f.pass_name for f in program.pass_failures}
+            ))
+            breaker.record_failure(failed, probe=mode == MODE_PROBE)
+        else:
+            breaker.record_success(probe=mode == MODE_PROBE)
+        return program, {
+            "_degraded": program.degraded,
+            "machine": machine.name,
+            "config": config.name,
+            "breaker": breaker.snapshot()["state"],
+            "disabled_passes": [],
+            "pass_failures": [f.describe() for f in program.pass_failures],
+            "cache_hit": program.cache_hit,
+            "coalesced_loops": program.coalesced_loops,
+            "recovered_passes": [
+                f.pass_name for f in program.pass_failures
+            ],
+        }
+
+    def _do_compile(self, request: dict) -> dict:
+        program, fields = self._compile_program(request)
+        if request.get("include_rtl"):
+            from repro.ir.printer import format_module
+
+            fields["rtl"] = format_module(program.module)
+        return fields
+
+    def _do_simulate(self, request: dict) -> dict:
+        program, fields = self._compile_program(request)
+        self._cancel()  # queue+compile may have eaten the whole budget
+
+        sim_kwargs = {}
+        if request.get("max_steps") is not None:
+            sim_kwargs["max_steps"] = int(request["max_steps"])
+        hooks = []
+        info = getattr(self._tls, "deadline", None)
+        if info is not None:
+            hooks.append(lambda func, label: self._cancel())
+        plan = FaultPlan.parse(request.get("faults"))
+        if plan is None:
+            plan = self.faults
+        if plan is not None:
+            hooks.append(plan.sim_hook())
+        if hooks:
+            def fault_hook(func, label, _hooks=tuple(hooks)):
+                for hook in _hooks:
+                    hook(func, label)
+
+            sim_kwargs["fault_hook"] = fault_hook
+
+        sim = program.simulator(**sim_kwargs)
+        addresses: Dict[str, int] = {}
+        for name, width, values in request.get("arrays") or []:
+            address = sim.alloc_array(
+                name, size=max(len(values), 1) * int(width)
+            )
+            sim.write_words(address, [int(v) for v in values], int(width))
+            addresses[name] = address
+        call_args = [
+            addresses.get(arg, arg) if isinstance(arg, str) else int(arg)
+            for arg in request.get("args") or []
+        ]
+        for arg in call_args:
+            if isinstance(arg, str):
+                raise ReproError(
+                    f"argument {arg!r} names no staged array"
+                )
+        result = sim.call(request["entry"], *call_args)
+        if result is not None:
+            bits = program.machine.word_bits
+            if result >= 1 << (bits - 1):
+                result -= 1 << bits
+        report = sim.report()
+        fields.update(
+            result=result,
+            cycles=report.total_cycles,
+            instr_count=report.instr_count,
+            memory_accesses=report.memory_accesses,
+        )
+        dump = request.get("dump")
+        if dump:
+            fields["arrays"] = {
+                name: sim.read_words(
+                    address,
+                    min(int(dump), 64),
+                    next(
+                        int(w) for n, w, _ in request["arrays"]
+                        if n == name
+                    ),
+                )
+                for name, address in addresses.items()
+            }
+        return fields
+
+    def _do_bench(self, request: dict) -> dict:
+        from repro.bench.harness import COLUMNS, run_benchmark
+
+        variant = request.get("variant", "coalesce-all")
+        if variant not in COLUMNS:
+            raise ReproError(
+                f"unknown variant {variant!r}; known: {', '.join(COLUMNS)}"
+            )
+        size = int(request.get("size", 16))
+        result = run_benchmark(
+            request["program"],
+            request.get("machine", "alpha"),
+            variant,
+            width=size,
+            height=size,
+        )
+        return {
+            "_degraded": False,
+            "program": request["program"],
+            "machine": result.machine,
+            "variant": variant,
+            "cycles": result.cycles,
+            "instr_count": result.instr_count,
+            "memory_accesses": result.memory_accesses,
+            "output_ok": result.output_ok,
+            "coalesced_loops": result.coalesced_loops,
+            "cache_hit": result.compile_cache_hit,
+        }
+
+    # -- status -------------------------------------------------------------
+    def _status_payload(self) -> dict:
+        counts = self.stats.snapshot()
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None else 0.0
+        )
+        return {
+            "server": {
+                "socket": self.socket_path,
+                "uptime_seconds": round(uptime, 3),
+                "workers": self.workers,
+                "queue_depth": self._queue.qsize(),
+                "queue_limit": self.queue_limit,
+                "default_deadline": self.default_deadline,
+                "stopping": self._stopping.is_set(),
+                "faults": str(self.faults) if self.faults else "",
+                **counts,
+            },
+            "breakers": self.breakers.snapshot(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "single_flight_shared": self.flight.shared,
+        }

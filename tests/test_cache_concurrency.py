@@ -1,0 +1,327 @@
+"""Concurrent and capped compile-cache behaviour.
+
+The service shares one disk cache across worker threads *and* across
+processes (several servers, CI shards, a human running ``bench`` at the
+same time).  These tests pin the two guarantees that sharing relies on:
+
+* a reader never observes a torn entry, no matter how many writers are
+  racing on the same key (``store`` is write-to-temp + atomic rename);
+* the cache stays bounded: LRU eviction by ``max_bytes``, with hits
+  refreshing recency.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.bench.cache import (
+    CACHE_SCHEMA,
+    CompileCache,
+    SingleFlight,
+    cache_key,
+    cached_compile_minic,
+    default_max_bytes,
+)
+from repro.pipeline import get_config
+
+SRC = """
+int dot(short *a, short *b, int n) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < n; i++)
+        s += a[i] * b[i];
+    return s;
+}
+"""
+
+
+def payload_for(tag: str, filler: int = 2048) -> dict:
+    """A minimal well-formed cache payload ``lookup`` accepts."""
+    return {
+        "schema": CACHE_SCHEMA,
+        "module": f"; module for {tag}\n" + "x" * filler,
+        "machine": "alpha",
+        "tag": tag,
+    }
+
+
+# -- cross-process atomicity -------------------------------------------------
+HAMMER = r"""
+import json, sys
+sys.path.insert(0, {src_dir!r})
+from repro.bench.cache import CompileCache, CACHE_SCHEMA
+
+cache = CompileCache({cache_dir!r}, max_bytes=None)
+tag = sys.argv[1]
+payload = {{
+    "schema": CACHE_SCHEMA,
+    "module": "; module from " + tag + "\n" + tag * 4096,
+    "machine": "alpha",
+    "tag": tag,
+}}
+for round in range(60):
+    cache.store("sharedkey", payload)
+    seen = cache.lookup("sharedkey")
+    if seen is None:
+        continue  # a racing unlink/replace window: a miss is fine
+    # What must NEVER happen is a half-written or interleaved entry.
+    assert seen["schema"] == CACHE_SCHEMA, seen
+    assert seen["module"].startswith("; module from "), seen["module"][:40]
+    assert seen["tag"] in ("one", "two"), seen
+    assert seen["module"].count(seen["tag"]) >= 4096, "torn payload"
+print("clean")
+"""
+
+
+class TestCrossProcess:
+    def test_two_processes_same_key_never_torn(self, tmp_path):
+        src_dir = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        script = HAMMER.format(
+            src_dir=src_dir, cache_dir=str(tmp_path / "shared")
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, tag],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            for tag in ("one", "two")
+        ]
+        # Race a reader in this process against both writers.
+        cache = CompileCache(tmp_path / "shared", max_bytes=None)
+        while any(p.poll() is None for p in procs):
+            seen = cache.lookup("sharedkey")
+            if seen is not None:
+                assert seen["schema"] == CACHE_SCHEMA
+                assert seen["tag"] in ("one", "two")
+        for proc in procs:
+            out, err = proc.communicate(timeout=60)
+            assert proc.returncode == 0, err
+            assert "clean" in out
+        # The surviving entry is complete and loadable.
+        final = cache.lookup("sharedkey")
+        assert final is not None and final["tag"] in ("one", "two")
+        # No stray temp files once the writers are done.
+        assert list((tmp_path / "shared").glob("*.tmp")) == []
+
+    def test_two_processes_compile_same_program(self, tmp_path):
+        """The real end-to-end path: two fresh processes compile the
+        same (source, machine, config) against one cache directory;
+        both succeed and leave exactly one valid entry behind."""
+        src_dir = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        script = (
+            "import sys; sys.path.insert(0, {src!r})\n"
+            "from repro.bench.cache import CompileCache, "
+            "cached_compile_minic\n"
+            "cache = CompileCache({cache!r})\n"
+            "program = cached_compile_minic({source!r}, 'alpha', "
+            "'coalesce-all', cache=cache)\n"
+            "print('coalesced', program.coalesced_loops)\n"
+        ).format(
+            src=src_dir, cache=str(tmp_path / "cc"), source=SRC
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert "coalesced 1" in out
+        cache = CompileCache(tmp_path / "cc")
+        key = cache_key(SRC, "alpha", get_config("coalesce-all"))
+        revived = cached_compile_minic(
+            SRC, "alpha", "coalesce-all", cache=cache
+        )
+        assert revived.cache_hit
+        assert cache.lookup(key) is not None
+
+
+# -- torn-entry recovery -----------------------------------------------------
+class TestCorruptEntries:
+    def test_truncated_entry_is_dropped_not_crashed(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cache.store("key", payload_for("good"))
+        path = cache._path("key")
+        path.write_text(path.read_text()[:37])  # simulate a torn write
+        assert cache.lookup("key") is None
+        assert not path.exists()  # the wreck was removed
+
+    def test_wrong_schema_is_dropped(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        bad = payload_for("old")
+        bad["schema"] = CACHE_SCHEMA + 1
+        cache.store("key", bad)
+        assert cache.lookup("key") is None
+
+
+# -- LRU size cap ------------------------------------------------------------
+class TestSizeCap:
+    def entry_bytes(self, tmp_path) -> int:
+        probe = CompileCache(tmp_path / "probe", max_bytes=None)
+        probe.store("probe", payload_for("probe"))
+        return probe._path("probe").stat().st_size
+
+    def test_store_evicts_oldest_beyond_max_bytes(self, tmp_path):
+        size = self.entry_bytes(tmp_path)
+        cache = CompileCache(tmp_path / "c", max_bytes=2 * size + size // 2)
+        for index, tag in enumerate(("a", "b", "c")):
+            cache.store(tag, payload_for(tag))
+            # Distinct mtimes make the LRU order deterministic even on
+            # coarse-resolution filesystems.
+            os.utime(cache._path(tag), (1000 + index, 1000 + index))
+        cache.store("d", payload_for("d"))
+        assert not cache._path("a").exists()
+        assert not cache._path("b").exists()
+        assert cache._path("c").exists()
+        assert cache._path("d").exists()
+        assert cache.evictions == 2
+
+    def test_lookup_refreshes_recency(self, tmp_path):
+        size = self.entry_bytes(tmp_path)
+        cache = CompileCache(tmp_path / "c", max_bytes=2 * size + size // 2)
+        cache.store("a", payload_for("a"))
+        cache.store("b", payload_for("b"))
+        os.utime(cache._path("a"), (1000, 1000))
+        os.utime(cache._path("b"), (1001, 1001))
+        assert cache.lookup("a") is not None  # bumps a's mtime to "now"
+        cache.store("c", payload_for("c"))
+        assert cache._path("a").exists()   # recently used: kept
+        assert not cache._path("b").exists()  # LRU victim
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = CompileCache(tmp_path, max_bytes=None)
+        for index in range(8):
+            cache.store(f"k{index}", payload_for(str(index)))
+        assert len(cache) == 8
+        assert cache.evictions == 0
+
+    def test_default_max_bytes_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+        assert default_max_bytes() == 12345
+        assert CompileCache("/tmp/unused").max_bytes == 12345
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "0")
+        assert default_max_bytes() is None  # 0 lifts the cap
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "garbage")
+        assert default_max_bytes() is not None  # falls back to default
+
+    def test_stats_reports_shape(self, tmp_path):
+        cache = CompileCache(tmp_path, max_bytes=None)
+        cache.store("k", payload_for("k"))
+        cache.lookup("k")
+        cache.lookup("missing")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["max_bytes"] is None
+
+
+# -- single-flight dedup -----------------------------------------------------
+class TestSingleFlight:
+    def test_identical_keys_run_once(self):
+        flight = SingleFlight()
+        barrier = threading.Barrier(5)
+        calls = []
+        results = []
+        lock = threading.Lock()
+
+        def compute():
+            calls.append(1)
+            # Give the followers time to pile onto the same flight.
+            import time
+            time.sleep(0.1)
+            return "value"
+
+        def run():
+            barrier.wait()
+            result, shared = flight.do("key", compute)
+            with lock:
+                results.append((result, shared))
+
+        threads = [threading.Thread(target=run) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert [r for r, _ in results] == ["value"] * 5
+        # The computation ran at most... exactly once for the whole pack
+        # when they all joined one flight; a scheduling straggler that
+        # missed the flight recomputes, but never more than the threads.
+        assert 1 <= len(calls) <= 2
+        assert any(shared for _, shared in results)
+        assert flight.shared >= 3
+
+    def test_different_keys_do_not_share(self):
+        flight = SingleFlight()
+        first, shared_first = flight.do("a", lambda: 1)
+        second, shared_second = flight.do("b", lambda: 2)
+        assert (first, second) == (1, 2)
+        assert not shared_first and not shared_second
+
+    def test_leader_error_propagates_to_followers(self):
+        flight = SingleFlight()
+        barrier = threading.Barrier(3)
+        outcomes = []
+        lock = threading.Lock()
+
+        def explode():
+            import time
+            time.sleep(0.1)
+            raise ValueError("boom")
+
+        def run():
+            barrier.wait()
+            try:
+                flight.do("key", explode)
+            except ValueError as exc:
+                with lock:
+                    outcomes.append(str(exc))
+
+        threads = [threading.Thread(target=run) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert outcomes == ["boom"] * 3
+
+    def test_key_is_reusable_after_completion(self):
+        flight = SingleFlight()
+        assert flight.do("key", lambda: 1) == (1, False)
+        assert flight.do("key", lambda: 2) == (2, False)  # fresh flight
+
+
+# -- the cache CLI -----------------------------------------------------------
+class TestCacheCLI:
+    def test_stats_and_clear(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache = CompileCache(tmp_path, max_bytes=None)
+        cache.store("k1", payload_for("k1"))
+        cache.store("k2", payload_for("k2"))
+
+        assert main(["cache", "--dir", str(tmp_path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:   2" in out
+
+        assert main(["cache", "--dir", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+        assert payload["bytes"] > 0
+
+        assert main(["cache", "--dir", str(tmp_path), "--clear"]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert len(cache) == 0

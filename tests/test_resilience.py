@@ -530,3 +530,194 @@ class TestResilienceCLI:
                 "run", str(source), "--entry", "spin",
                 "--args", "1", "--max-steps", "3000",
             ])
+
+
+# -- crash-bundle disk cap ---------------------------------------------------
+class TestBundleCap:
+    def fake_bundle(self, directory, name, created):
+        from repro.resilience.bundle import BUNDLE_PREFIX
+
+        bundle = directory / f"{BUNDLE_PREFIX}{name}"
+        bundle.mkdir(parents=True)
+        (bundle / "manifest.json").write_text(
+            json.dumps({"created_unix": created})
+        )
+        return bundle
+
+    def test_prune_removes_oldest_first(self, tmp_path):
+        from repro.resilience.bundle import prune_bundles
+
+        old = self.fake_bundle(tmp_path, "aaaa00000001", 100)
+        mid = self.fake_bundle(tmp_path, "bbbb00000002", 200)
+        new = self.fake_bundle(tmp_path, "cccc00000003", 300)
+        removed = prune_bundles(tmp_path, max_bundles=2)
+        assert removed == [str(old)]
+        assert not old.exists() and mid.exists() and new.exists()
+
+    def test_prune_is_a_noop_under_the_cap(self, tmp_path):
+        from repro.resilience.bundle import prune_bundles
+
+        self.fake_bundle(tmp_path, "aaaa00000001", 100)
+        assert prune_bundles(tmp_path, max_bundles=5) == []
+
+    def test_prune_missing_directory(self, tmp_path):
+        from repro.resilience.bundle import prune_bundles
+
+        assert prune_bundles(tmp_path / "nowhere") == []
+
+    def test_default_cap_from_env(self, monkeypatch):
+        from repro.resilience.bundle import (
+            DEFAULT_MAX_BUNDLES,
+            default_max_bundles,
+        )
+
+        monkeypatch.delenv("REPRO_MAX_BUNDLES", raising=False)
+        assert default_max_bundles() == DEFAULT_MAX_BUNDLES
+        monkeypatch.setenv("REPRO_MAX_BUNDLES", "7")
+        assert default_max_bundles() == 7
+        monkeypatch.setenv("REPRO_MAX_BUNDLES", "0")
+        assert default_max_bundles() == 1  # floor: always keep the newest
+        monkeypatch.setenv("REPRO_MAX_BUNDLES", "junk")
+        assert default_max_bundles() == DEFAULT_MAX_BUNDLES
+
+    def test_compile_honours_max_bundles(self, tmp_path):
+        # Two distinct failures write two bundles; a cap of 1 keeps only
+        # the newer one.
+        compile_minic(
+            DOT, "alpha", "coalesce-all",
+            faults=FaultPlan.parse("unroll=raise"),
+            on_pass_failure="skip", crash_dir=str(tmp_path),
+            max_bundles=1,
+        )
+        first = list(tmp_path.glob("repro_crash_*"))
+        assert len(first) == 1
+        compile_minic(
+            DOT, "alpha", "coalesce-all",
+            faults=FaultPlan.parse("licm=raise"),
+            on_pass_failure="skip", crash_dir=str(tmp_path),
+            max_bundles=1,
+        )
+        survivors = list(tmp_path.glob("repro_crash_*"))
+        assert len(survivors) == 1
+        assert survivors != first
+
+    def test_cli_max_bundles_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        source = tmp_path / "dot.c"
+        source.write_text(DOT)
+        for plan in ("unroll=raise", "licm=raise", "cleanup=raise"):
+            assert main([
+                "compile", str(source),
+                "--config", "coalesce-all",
+                "--inject", plan,
+                "--on-pass-failure", "skip",
+                "--crash-dir", str(tmp_path / "crashes"),
+                "--max-bundles", "2",
+            ]) == 0
+            capsys.readouterr()
+        assert len(list((tmp_path / "crashes").glob("repro_crash_*"))) == 2
+
+
+# -- the 'sleep' fault kind --------------------------------------------------
+class TestSleepFault:
+    def test_parse_and_round_trip(self):
+        plan = FaultPlan.parse("coalesce=sleep:0.5@2")
+        [spec] = plan.specs
+        assert spec.kind == "sleep"
+        assert spec.seconds == 0.5
+        assert spec.hit == 2
+        assert str(FaultPlan.parse(str(plan))) == str(plan)
+
+    def test_sleep_delays_then_compiles_clean(self):
+        import time
+
+        plan = FaultPlan.parse("coalesce=sleep:0.15")
+        started = time.monotonic()
+        program = compile_minic(
+            DOT, "alpha", "coalesce-all", faults=plan,
+        )
+        assert time.monotonic() - started >= 0.15
+        assert program.pass_failures == []  # a sleep is a delay, not a crash
+        assert _behaviour(program) == _behaviour(
+            compile_minic(DOT, "alpha", "naive")
+        )
+
+    def test_sleep_is_interruptible(self):
+        import time
+
+        from repro.errors import DeadlineExceeded
+
+        deadline = time.monotonic() + 0.1
+
+        def cancel():
+            if time.monotonic() > deadline:
+                raise DeadlineExceeded(0.1, time.monotonic())
+
+        plan = FaultPlan.parse("coalesce=sleep:30")
+        started = time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            compile_minic(
+                DOT, "alpha", "coalesce-all", faults=plan, cancel=cancel,
+            )
+        assert time.monotonic() - started < 1.0  # not the full 30s
+
+    def test_cancel_checked_before_any_work(self):
+        from repro.errors import DeadlineExceeded
+
+        def cancel():
+            raise DeadlineExceeded(0.0, 0.0)
+
+        with pytest.raises(DeadlineExceeded):
+            compile_minic(DOT, "alpha", "vpo", cancel=cancel)
+
+
+# -- machine-readable CLI output ---------------------------------------------
+class TestJsonCLI:
+    def _bundle(self, tmp_path):
+        program = compile_minic(
+            DOT, "alpha", "coalesce-all",
+            faults=FaultPlan.parse("licm=raise"),
+            on_pass_failure="skip",
+            crash_dir=str(tmp_path),
+        )
+        return program.pass_failures[0].bundle
+
+    def test_replay_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bundle = self._bundle(tmp_path)
+        assert main(["replay", bundle, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reproduced"] is True
+        assert payload["bundle"] == bundle
+
+    def test_replay_json_bad_bundle_exit_code(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(["replay", str(tmp_path / "nope"), "--json"])
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert "error" in payload
+
+    def test_bisect_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bundle = self._bundle(tmp_path)
+        assert main(["bisect", bundle, "--no-reduce", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["culprit"] == ["licm"]
+        assert payload["attempts"] >= 1
+
+    def test_chaos_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        source = tmp_path / "dot.c"
+        source.write_text(DOT)
+        assert main([
+            "chaos", str(source), "--seed", "1234",
+            "--crash-dir", str(tmp_path / "crashes"), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problems"] == []
+        assert payload["recovered"] >= 1
