@@ -236,6 +236,33 @@ def cmd_lint(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.json:
+        import json
+
+        payload = {
+            "file": args.file,
+            "machine": args.machine,
+            "ok": not sink.has_errors,
+            "counts": sink.counts(),
+            "diagnostics": [
+                {
+                    "severity": d.severity,
+                    "check": d.check,
+                    "message": d.message,
+                    "function": d.location.function if d.location else None,
+                    "block": d.location.block if d.location else None,
+                    "index": d.location.index if d.location else None,
+                    "provenance": d.provenance,
+                    "hint": d.hint,
+                }
+                for d in sink.sorted()
+            ],
+        }
+        if args.stats and stats:
+            payload["pass_stats"] = stats
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 1 if sink.has_errors else 0
+
     print(sink.render_grouped())
     if args.stats and stats:
         print()
@@ -301,6 +328,12 @@ def cmd_bench(args) -> int:
             )
             return 2
 
+    try:
+        budgets = runner.parse_phase_budgets(args.phase_budget or [])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     jobs = args.jobs if args.jobs is not None else runner.default_jobs()
     total = len(programs) * len(machines) * len(variants)
     print(
@@ -352,6 +385,12 @@ def cmd_bench(args) -> int:
     if args.stats:
         print(runner.format_stats(records))
 
+    overruns = (
+        runner.check_phase_budgets(records, budgets) if budgets else []
+    )
+    for overrun in overruns:
+        print(f"phase budget: {overrun}", file=sys.stderr)
+
     bad_output = [
         r for r in records
         if r.get("status", "ok") == "ok" and not r["output_ok"]
@@ -380,6 +419,12 @@ def cmd_bench(args) -> int:
     elif failed:
         print(
             f"error: {len(failed)} cells failed to measure",
+            file=sys.stderr,
+        )
+        return 1
+    if overruns:
+        print(
+            f"error: {len(overruns)} phase budget(s) exceeded",
             file=sys.stderr,
         )
         return 1
@@ -869,6 +914,10 @@ def main(argv=None) -> int:
         "--stats", action="store_true",
         help="print per-pass changed/timing statistics",
     )
+    p_lint.add_argument(
+        "--json", action="store_true",
+        help="machine-readable diagnostics on stdout",
+    )
     _add_common(p_lint)
     p_lint.set_defaults(func=cmd_lint)
 
@@ -927,6 +976,13 @@ def main(argv=None) -> int:
     p_bench.add_argument(
         "--stats", action="store_true",
         help="print aggregated per-phase compile/simulate timings",
+    )
+    p_bench.add_argument(
+        "--phase-budget", action="append", default=None,
+        metavar="PHASE=SECONDS",
+        help="fail the run when a compile phase's aggregated time "
+             "(summed across records, as --stats reports it) exceeds "
+             "SECONDS; repeatable, comma-separable, e.g. cleanup=0.3",
     )
     p_bench.add_argument(
         "--cell-timeout", type=float, default=None,

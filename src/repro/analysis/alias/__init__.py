@@ -1,0 +1,67 @@
+"""Static alias and memory-dependence analysis over RTL.
+
+The paper's coalescer is conservative: whenever two partitions *might*
+overlap it emits the Figure 5 run-time overlap/alignment check chain and
+keeps the original loop as a fallback, paying a dynamic cost for facts a
+compiler can often prove.  This package proves them:
+
+* :mod:`repro.analysis.alias.symbolic` derives a **symbolic address
+  expression** for a base register — which object it points into (a
+  frame slot, a global, a pointer parameter), at what constant byte
+  offset, advancing how many bytes per loop iteration — by walking the
+  def-use chains and the loop's induction variables;
+* :mod:`repro.analysis.alias.lattice` compares two symbolic addresses
+  (with their touched byte intervals) on the three-point verdict
+  lattice ``no-alias`` / ``may-alias`` / ``must-alias``, and decides
+  when wide-access **alignment** is statically provable;
+* :mod:`repro.analysis.alias.summary` rolls both up into a per-function
+  **memory-dependence summary**, cached under the
+  :class:`repro.analysis.manager.AnalysisManager` as the ``memdep``
+  analysis.
+
+Consumers: the coalescer's hazard analysis and run-time-check planner
+(statically discharging Figure 5 checks), and the ``alias-consistency``
+and ``redundant-runtime-check`` sanitizer checkers.
+"""
+
+from repro.analysis.alias.lattice import (
+    MAY_ALIAS,
+    MUST_ALIAS,
+    NO_ALIAS,
+    alias_intervals,
+    join,
+    provable_alignment,
+)
+from repro.analysis.alias.symbolic import (
+    AddressExpr,
+    Root,
+    resolve_loop_base,
+    resolve_reg_at,
+)
+from repro.analysis.alias.summary import (
+    LoopAliasSummary,
+    MemoryDependenceSummary,
+    RefInfo,
+    annotate_memory_roots,
+    constant_trip_count,
+    memory_dependence,
+)
+
+__all__ = [
+    "AddressExpr",
+    "LoopAliasSummary",
+    "MAY_ALIAS",
+    "MUST_ALIAS",
+    "MemoryDependenceSummary",
+    "NO_ALIAS",
+    "RefInfo",
+    "Root",
+    "alias_intervals",
+    "annotate_memory_roots",
+    "constant_trip_count",
+    "join",
+    "memory_dependence",
+    "provable_alignment",
+    "resolve_loop_base",
+    "resolve_reg_at",
+]

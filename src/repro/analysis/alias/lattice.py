@@ -1,0 +1,107 @@
+"""The must/may/no-alias verdict lattice and the decision rules.
+
+Verdicts order ``NO_ALIAS < MAY_ALIAS < MUST_ALIAS`` only in the sense
+that :func:`join` resolves disagreement to the weaker claim
+(``MAY_ALIAS``); the two definite verdicts both mean "statically
+decided".
+
+The rules mirror the paper's Figure 4/Figure 5 safety argument, decided
+at compile time where the object roots allow it:
+
+* **distinct roots** — two different frame slots never overlap; a frame
+  slot never overlaps a global or a pointer parameter (a caller cannot
+  name a frame slot that does not exist until the call); two distinct
+  globals never overlap.  A parameter may point anywhere the caller
+  likes except our frame, so ``param`` vs ``param``/``global`` stays
+  may-alias — exactly the case the paper's run-time overlap check
+  exists for.
+* **same root** — both addresses are ``root + constant``; when the two
+  access streams advance by the *same* byte step each iteration their
+  distance is constant, so one interval comparison decides the whole
+  loop: disjoint intervals stay disjoint forever (``no-alias``),
+  overlapping intervals overlap on every iteration (``must-alias``).
+  Different steps make the distance iteration-dependent: may-alias.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.alias.symbolic import AddressExpr, CONST, FRAME, \
+    GLOBAL, PARAM
+
+NO_ALIAS = "no-alias"
+MAY_ALIAS = "may-alias"
+MUST_ALIAS = "must-alias"
+
+
+def join(a: str, b: str) -> str:
+    """Combine two verdicts about the same pair: agreement survives,
+    disagreement degrades to ``may-alias``."""
+    return a if a == b else MAY_ALIAS
+
+
+#: Unordered root-kind pairs that can never address the same byte.
+_DISJOINT_KINDS = {
+    frozenset({FRAME, GLOBAL}),
+    frozenset({FRAME, PARAM}),
+}
+
+
+def alias_intervals(
+    a: Optional[AddressExpr], a_lo: int, a_hi: int,
+    b: Optional[AddressExpr], b_lo: int, b_hi: int,
+) -> str:
+    """Verdict for two accessed byte intervals.
+
+    ``[a_lo, a_hi)`` / ``[b_lo, b_hi)`` are the displacement ranges each
+    stream touches per iteration, relative to its base register; the
+    expressions carry the loop-entry offsets and per-iteration steps.
+    """
+    if a is None or b is None:
+        return MAY_ALIAS
+
+    if a.root != b.root:
+        kinds = frozenset({a.root.kind, b.root.kind})
+        if len(kinds) == 1 and a.root.kind in (FRAME, GLOBAL):
+            return NO_ALIAS  # two distinct named objects
+        if kinds in _DISJOINT_KINDS:
+            return NO_ALIAS
+        return MAY_ALIAS
+
+    # Same root (including const vs const: both absolute addresses).
+    if a.step != b.step:
+        return MAY_ALIAS
+    lo_a, hi_a = a.offset + a_lo, a.offset + a_hi
+    lo_b, hi_b = b.offset + b_lo, b.offset + b_hi
+    if hi_a <= lo_b or hi_b <= lo_a:
+        return NO_ALIAS
+    return MUST_ALIAS
+
+
+def provable_alignment(
+    expr: Optional[AddressExpr],
+    start_disp: int,
+    wide_width: int,
+    func,
+) -> bool:
+    """Is ``base + start_disp`` provably ``wide_width``-aligned on every
+    iteration?
+
+    True when the root object's own alignment is a multiple of the wide
+    width, the constant offset lands on a wide boundary, and the stream
+    advances by whole wide words.  Only frame slots carry a declared
+    alignment the function itself controls; everything else stays a
+    run-time question (the paper's alignment check).
+    """
+    if expr is None or expr.root.kind != FRAME:
+        return False
+    slot = func.frame_slots.get(expr.root.name)
+    if slot is None:
+        return False
+    _, align = slot
+    return (
+        align % wide_width == 0
+        and (expr.offset + start_disp) % wide_width == 0
+        and expr.step % wide_width == 0
+    )

@@ -1,0 +1,242 @@
+"""Per-function memory-dependence summaries.
+
+``memory_dependence(func)`` — registered with the
+:class:`repro.analysis.manager.AnalysisManager` as ``memdep`` — walks
+every single-block loop (the shape the unroller produces and the
+coalescer consumes), resolves each memory reference's base register to a
+symbolic address expression, and pre-computes the alias verdict for
+every pair of base registers in the loop.  The coalescer and the
+sanitizer checkers then answer "can these two access streams overlap?"
+with one dictionary lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.alias.lattice import MAY_ALIAS, NO_ALIAS, \
+    alias_intervals, provable_alignment
+from repro.analysis.alias.symbolic import CONST, FRAME, GLOBAL, \
+    AddressExpr, Root, resolve_loop_base
+from repro.analysis.defuse import def_use_chains
+from repro.analysis.induction import find_basic_ivs
+from repro.analysis.loops import find_loops
+from repro.analysis.tripcount import analyze_trip_count
+from repro.ir.function import Function
+from repro.ir.rtl import Const, Instr, Load, Store
+
+# Relation families of the latch comparison, mirroring the unroller's
+# emit_trip_count arithmetic (the static count must agree with the code
+# the preheader would have computed).
+_STRICT_RELS = frozenset({"lt", "ltu", "gt", "gtu"})
+_EQUAL_RELS = frozenset({"le", "leu", "ge", "geu"})
+
+
+@dataclass
+class RefInfo:
+    """One memory reference inside a summarized loop."""
+
+    block: str
+    index: int
+    instr: Instr
+    base_index: int
+    disp: int
+    width: int
+
+    @property
+    def is_store(self) -> bool:
+        return isinstance(self.instr, Store)
+
+
+@dataclass
+class LoopAliasSummary:
+    """Everything the engine proved about one single-block loop."""
+
+    header: str
+    #: base register index -> its symbolic loop-entry address (``None``
+    #: when unanalyzable).
+    base_exprs: Dict[int, Optional[AddressExpr]] = field(
+        default_factory=dict
+    )
+    #: base register index -> [min_disp, max_end) touched per iteration.
+    intervals: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: unordered base pair -> verdict (``no-alias``/``may-alias``/
+    #: ``must-alias``).
+    verdicts: Dict[Tuple[int, int], str] = field(default_factory=dict)
+    refs: List[RefInfo] = field(default_factory=list)
+    #: compile-time iteration count, when the loop counts a constant
+    #: range with a constant step (``None`` otherwise).
+    trip_count: Optional[int] = None
+
+    def verdict(self, base_a: int, base_b: int) -> str:
+        if base_a == base_b:
+            return MAY_ALIAS  # same stream: not this summary's question
+        key = (base_a, base_b) if base_a <= base_b else (base_b, base_a)
+        return self.verdicts.get(key, MAY_ALIAS)
+
+
+class MemoryDependenceSummary:
+    """Alias facts for every summarized loop of one function."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.loops: Dict[str, LoopAliasSummary] = {}
+
+    def loop(self, header: str) -> Optional[LoopAliasSummary]:
+        return self.loops.get(header)
+
+    def verdict(self, header: str, base_a: int, base_b: int) -> str:
+        summary = self.loops.get(header)
+        if summary is None:
+            return MAY_ALIAS
+        return summary.verdict(base_a, base_b)
+
+    def aligned(
+        self, header: str, base_index: int, start_disp: int,
+        wide_width: int,
+    ) -> bool:
+        """Is ``base + start_disp`` provably wide-aligned in this loop?"""
+        summary = self.loops.get(header)
+        if summary is None:
+            return False
+        return provable_alignment(
+            summary.base_exprs.get(base_index), start_disp, wide_width,
+            self.func,
+        )
+
+    def no_alias_pairs(self) -> List[Tuple[RefInfo, RefInfo]]:
+        """Every cross-stream reference pair proved disjoint — the raw
+        material of the ``alias-consistency`` checker."""
+        pairs: List[Tuple[RefInfo, RefInfo]] = []
+        for summary in self.loops.values():
+            for left in summary.refs:
+                for right in summary.refs:
+                    if left.base_index >= right.base_index:
+                        continue
+                    if (
+                        summary.verdict(left.base_index, right.base_index)
+                        == NO_ALIAS
+                    ):
+                        pairs.append((left, right))
+        return pairs
+
+
+def constant_trip_count(func, chains, loop, ivs) -> Optional[int]:
+    """The loop's iteration count when it is a compile-time constant.
+
+    Requires a counted loop whose IV entry value and latch bound both
+    resolve symbolically to the *same root* at constant offsets — two
+    integer constants, or (the shape strength reduction leaves behind)
+    a pointer walking an object toward a limit pointer into the same
+    object.  Either way their distance is a compile-time constant, and
+    this computes exactly what the unroller's ``emit_trip_count``
+    preheader code would compute at run time, letting the ``n % k``
+    divisibility check be discharged statically.  Returns ``None``
+    whenever anything stays symbolic.
+    """
+    trip = analyze_trip_count(func, loop, ivs)
+    if trip is None:
+        return None
+    entry = resolve_loop_base(func, chains, loop, trip.iv.reg.index, ivs)
+    if entry is None:
+        return None
+    if isinstance(trip.bound, Const):
+        bound = AddressExpr(Root(CONST), trip.bound.value)
+    else:
+        bound = resolve_loop_base(
+            func, chains, loop, trip.bound.index, ivs
+        )
+        if bound is None or bound.step != 0:
+            return None
+    if bound.root != entry.root:
+        return None
+    step = abs(trip.step)
+    span = (
+        bound.offset - entry.offset if trip.step > 0
+        else entry.offset - bound.offset
+    )
+    if span <= 0:
+        # The rotated-loop guarantee ("executes at least once") failed to
+        # reproduce statically; don't claim a count.
+        return None
+    if trip.rel in _STRICT_RELS:
+        return (span + step - 1) // step
+    if trip.rel in _EQUAL_RELS:
+        return span // step + 1
+    return span // step  # 'ne': tripcount analysis guarantees |step| == 1
+
+
+def annotate_memory_roots(
+    func: Function, summary: "MemoryDependenceSummary"
+) -> int:
+    """Tag loads/stores with the object the engine resolved them into.
+
+    Each reference whose base resolved to a *named* object (a frame slot
+    or a global — the roots whose no-alias verdicts assert whole-object
+    disjointness) gets ``instr.notes['memdep_root']``.  The differential
+    ``alias-consistency`` checker later verifies that the concrete
+    addresses those instructions touch stay inside the claimed object.
+    Returns how many references were tagged.
+    """
+    tagged = 0
+    for loop_summary in summary.loops.values():
+        for ref in loop_summary.refs:
+            expr = loop_summary.base_exprs.get(ref.base_index)
+            if expr is None or expr.root.kind not in (FRAME, GLOBAL):
+                continue
+            ref.instr.notes["memdep_root"] = {
+                "kind": expr.root.kind,
+                "name": expr.root.name,
+                "loop": loop_summary.header,
+                # Pre-lowering access width: lowering may widen the
+                # instruction (read-modify-write on machines without
+                # narrow stores) while keeping its notes, and the
+                # consistency audit must not charge the object for the
+                # widened word.
+                "width": ref.width,
+            }
+            tagged += 1
+    return tagged
+
+
+def memory_dependence(func: Function) -> MemoryDependenceSummary:
+    """Build the per-function summary (the ``memdep`` analysis)."""
+    result = MemoryDependenceSummary(func)
+    chains = def_use_chains(func)
+    for loop in find_loops(func):
+        if len(loop.blocks) != 1:
+            continue
+        block = func.block(loop.header)
+        ivs = find_basic_ivs(func, loop)
+        summary = LoopAliasSummary(loop.header)
+        summary.trip_count = constant_trip_count(func, chains, loop, ivs)
+        for index, instr in enumerate(block.instrs):
+            if not isinstance(instr, (Load, Store)):
+                continue
+            base = instr.base.index
+            summary.refs.append(
+                RefInfo(
+                    loop.header, index, instr, base, instr.disp,
+                    instr.width,
+                )
+            )
+            if base not in summary.base_exprs:
+                summary.base_exprs[base] = resolve_loop_base(
+                    func, chains, loop, base, ivs
+                )
+            lo, hi = summary.intervals.get(base, (instr.disp, instr.disp))
+            summary.intervals[base] = (
+                min(lo, instr.disp), max(hi, instr.disp + instr.width)
+            )
+        bases = sorted(summary.base_exprs)
+        for position, base_a in enumerate(bases):
+            for base_b in bases[position + 1:]:
+                lo_a, hi_a = summary.intervals[base_a]
+                lo_b, hi_b = summary.intervals[base_b]
+                summary.verdicts[(base_a, base_b)] = alias_intervals(
+                    summary.base_exprs[base_a], lo_a, hi_a,
+                    summary.base_exprs[base_b], lo_b, hi_b,
+                )
+        result.loops[loop.header] = summary
+    return result

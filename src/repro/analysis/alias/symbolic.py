@@ -1,0 +1,206 @@
+"""Symbolic address expressions.
+
+A base register used by ``M[base + disp]`` is resolved to
+``root + offset (+ step per iteration)`` by walking the use-def chains:
+
+* ``FrameAddr`` / ``GlobalAddr`` name the root object directly;
+* ``Mov``/``add``/``sub`` with constant operands accumulate the offset;
+* a register with no reaching definition is an incoming **parameter**
+  (its own root: the caller's pointer);
+* a register that is a basic induction variable of the enclosing loop
+  resolves to its loop-entry value plus the IV's byte step.
+
+Anything else (a loaded pointer, a ``mul``-scaled address, several
+competing definitions) resolves to ``None`` — the unanalyzable case the
+verdict lattice treats as may-alias, exactly as the paper falls back to
+the Figure 5 run-time check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.analysis.defuse import DefUseChains
+from repro.analysis.induction import BasicIV
+from repro.analysis.loops import Loop
+from repro.ir.function import Function
+from repro.ir.rtl import BinOp, Const, FrameAddr, GlobalAddr, Mov, Reg
+
+#: How many definitions a single resolution may walk through; address
+#: computations are short, so hitting this means "give up", not "try
+#: harder".
+MAX_WALK = 64
+
+FRAME = "frame"
+GLOBAL = "global"
+PARAM = "param"
+CONST = "const"
+
+
+@dataclass(frozen=True)
+class Root:
+    """The object a symbolic address points into.
+
+    ``kind`` is ``'frame'`` (a stack slot of this function), ``'global'``
+    (a module variable), ``'param'`` (an incoming pointer argument) or
+    ``'const'`` (an absolute address).  ``name`` identifies the object
+    within its kind: the slot name, the global name, or the parameter's
+    register index as text.
+    """
+
+    kind: str
+    name: str = ""
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.name}" if self.name else self.kind
+
+
+@dataclass(frozen=True)
+class AddressExpr:
+    """``root + offset``, advancing ``step`` bytes per loop iteration."""
+
+    root: Root
+    offset: int = 0
+    step: int = 0
+
+    def __repr__(self) -> str:
+        text = f"{self.root}{self.offset:+d}"
+        if self.step:
+            text += f" (step {self.step:+d}/iter)"
+        return text
+
+
+def resolve_reg_at(
+    func: Function,
+    chains: DefUseChains,
+    label: str,
+    index: int,
+    reg_index: int,
+    _depth: int = 0,
+) -> Optional[AddressExpr]:
+    """The symbolic value of ``reg_index`` just before instruction
+    ``index`` of block ``label``, or ``None`` if unanalyzable."""
+    if _depth > MAX_WALK:
+        return None
+    sites = chains.reaching.reaching_at(label, index, reg_index)
+    if not sites:
+        # No definition reaches: an incoming parameter (the verifier
+        # guarantees anything else never executes).
+        if any(p.index == reg_index for p in func.params):
+            return AddressExpr(Root(PARAM, str(reg_index)))
+        return None
+    if len(sites) != 1:
+        return None
+    site_label, site_index = next(iter(sites))
+    instr = func.block(site_label).instrs[site_index]
+
+    if isinstance(instr, FrameAddr):
+        return AddressExpr(Root(FRAME, instr.slot))
+    if isinstance(instr, GlobalAddr):
+        return AddressExpr(Root(GLOBAL, instr.name))
+    if isinstance(instr, Mov):
+        if isinstance(instr.src, Const):
+            return AddressExpr(Root(CONST), instr.src.value)
+        return resolve_reg_at(
+            func, chains, site_label, site_index, instr.src.index,
+            _depth + 1,
+        )
+    if isinstance(instr, BinOp) and instr.op in ("add", "sub", "and"):
+        # Resolve both operands; a literal constant is an absolute value
+        # (the ``const`` root), a register resolves recursively.  This
+        # folds the unroller's main-bound arithmetic symbolically:
+        # ``(base + n) - base`` collapses to a constant even though the
+        # operands are pointers no constant propagation can touch.
+        def value_of(operand) -> Optional[AddressExpr]:
+            if isinstance(operand, Const):
+                return AddressExpr(Root(CONST), operand.value)
+            if isinstance(operand, Reg):
+                return resolve_reg_at(
+                    func, chains, site_label, site_index, operand.index,
+                    _depth + 1,
+                )
+            return None
+
+        lhs = value_of(instr.a)
+        rhs = value_of(instr.b)
+        if lhs is None or rhs is None:
+            return None
+        if instr.op == "add":
+            if rhs.root.kind == CONST:
+                return replace(lhs, offset=lhs.offset + rhs.offset)
+            if lhs.root.kind == CONST:
+                return replace(rhs, offset=lhs.offset + rhs.offset)
+            return None
+        if instr.op == "sub":
+            if rhs.root.kind == CONST:
+                return replace(lhs, offset=lhs.offset - rhs.offset)
+            if lhs.root == rhs.root:
+                # Same object: the address difference is the constant
+                # offset difference.
+                return AddressExpr(Root(CONST), lhs.offset - rhs.offset)
+            return None
+        # 'and' folds only between known absolute values.
+        if lhs.root.kind == CONST and rhs.root.kind == CONST:
+            return AddressExpr(Root(CONST), lhs.offset & rhs.offset)
+        return None
+    return None
+
+
+def resolve_loop_base(
+    func: Function,
+    chains: DefUseChains,
+    loop: Loop,
+    reg_index: int,
+    ivs: Dict[int, BasicIV],
+) -> Optional[AddressExpr]:
+    """The symbolic address held by ``reg_index`` on entry to ``loop``,
+    with the register's per-iteration byte step filled in.
+
+    A basic IV resolves to its unique loop-entry definition; a
+    loop-invariant register resolves to its value at the header.  Several
+    competing entry definitions, or any unanalyzable link in the chain,
+    yield ``None``.
+    """
+    entry_sites = {
+        site
+        for site in chains.reaching.reach_in.get(loop.header, ())
+        if site[0] not in loop.blocks
+        and any(
+            r.index == reg_index
+            for r in func.block(site[0]).instrs[site[1]].defs()
+        )
+    }
+    in_loop_defs = any(
+        site[0] in loop.blocks
+        for site in chains.reaching.defs_of.get(reg_index, ())
+    )
+    iv = ivs.get(reg_index)
+    if in_loop_defs and iv is None:
+        return None  # redefined in the loop but not as a basic IV
+
+    if not entry_sites:
+        if in_loop_defs:
+            # Only in-loop definitions exist, so on the entry edge the
+            # register still holds its incoming value: a parameter
+            # advanced directly as the loop's pointer, or undefined
+            # (which the verifier guarantees never executes).
+            if not any(p.index == reg_index for p in func.params):
+                return None
+            expr = AddressExpr(Root(PARAM, str(reg_index)))
+        else:
+            expr = resolve_reg_at(
+                func, chains, loop.header, 0, reg_index
+            )
+    elif len(entry_sites) == 1:
+        site_label, site_index = next(iter(entry_sites))
+        # Value *after* the defining instruction == value of its
+        # definition; resolve the register just past that site.
+        expr = resolve_reg_at(
+            func, chains, site_label, site_index + 1, reg_index
+        )
+    else:
+        return None
+    if expr is None:
+        return None
+    return replace(expr, step=iv.step if iv is not None else 0)

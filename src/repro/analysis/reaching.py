@@ -3,13 +3,23 @@
 Definitions are identified as ``(block_label, instr_index)`` pairs.  Used
 by global copy propagation and by the induction variable analysis (a basic
 IV needs *all* its in-loop definitions to be increments).
+
+The solver numbers every definition site and runs the classic bitvector
+fixpoint over Python ints (``out = (in & ~kill) | gen``), which is orders
+of magnitude cheaper than juggling sets of tuples.  Queries are sparse:
+:meth:`ReachingDefs.reaching_at` binary-searches the per-register list of
+definition positions inside the block instead of walking the block prefix,
+so a full-function sweep of queries is ``O(uses · log defs)`` rather than
+the old ``O(instructions²)``.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.analysis.cfgutil import predecessors, reachable_labels
+from repro.analysis.cfgutil import predecessors, reachable_labels, \
+    reverse_postorder
 from repro.ir.function import Function
 
 DefSite = Tuple[str, int]
@@ -27,23 +37,43 @@ class ReachingDefs:
         self.func = func
         self.reach_in = reach_in
         self.defs_of = defs_of
+        # label -> reg index -> sorted instruction positions defining it.
+        self._block_defs: Dict[str, Dict[int, List[int]]] = {}
+        for label in reach_in:
+            per_reg: Dict[int, List[int]] = {}
+            for index, instr in enumerate(func.block(label).instrs):
+                for reg in instr.defs():
+                    per_reg.setdefault(reg.index, []).append(index)
+            self._block_defs[label] = per_reg
+        # label -> reg index -> sites from reach_in defining that reg
+        # (built lazily; most blocks are never queried).
+        self._in_by_reg: Dict[str, Dict[int, Tuple[DefSite, ...]]] = {}
+
+    def _incoming(self, label: str) -> Dict[int, Tuple[DefSite, ...]]:
+        cached = self._in_by_reg.get(label)
+        if cached is not None:
+            return cached
+        grouped: Dict[int, List[DefSite]] = {}
+        for site in self.reach_in.get(label, ()):
+            site_label, position = site
+            instr = self.func.block(site_label).instrs[position]
+            for reg in instr.defs():
+                grouped.setdefault(reg.index, []).append(site)
+        frozen = {reg: tuple(sites) for reg, sites in grouped.items()}
+        self._in_by_reg[label] = frozen
+        return frozen
 
     def reaching_at(
         self, label: str, index: int, reg_index: int
     ) -> Set[DefSite]:
         """Definitions of ``reg_index`` reaching instruction ``index`` of
         block ``label``."""
-        live: Set[DefSite] = {
-            site
-            for site in self.reach_in.get(label, set())
-            if self._defines(site, reg_index)
-        }
-        block = self.func.block(label)
-        for position in range(index):
-            instr = block.instrs[position]
-            if any(r.index == reg_index for r in instr.defs()):
-                live = {(label, position)}
-        return live
+        positions = self._block_defs.get(label, {}).get(reg_index)
+        if positions:
+            at = bisect_left(positions, index) - 1
+            if at >= 0:
+                return {(label, positions[at])}
+        return set(self._incoming(label).get(reg_index, ()))
 
     def unique_def_at(
         self, label: str, index: int, reg_index: int
@@ -53,64 +83,81 @@ class ReachingDefs:
             return next(iter(sites))
         return None
 
-    def _defines(self, site: DefSite, reg_index: int) -> bool:
-        block_label, position = site
-        instr = self.func.block(block_label).instrs[position]
-        return any(r.index == reg_index for r in instr.defs())
-
 
 def reaching_definitions(func: Function) -> ReachingDefs:
     """Solve the forward reaching-definitions dataflow problem."""
     reachable = reachable_labels(func)
-    labels = [b.label for b in func.blocks if b.label in reachable]
+    order = [l for l in reverse_postorder(func) if l in reachable]
+    labels_set = set(order)
     preds = predecessors(func)
 
-    # Collect all definition sites per register.
+    # Number every definition site; per-register masks give kill sets.
+    sites: List[DefSite] = []
     defs_of: Dict[int, Set[DefSite]] = {}
-    gen: Dict[str, Dict[int, DefSite]] = {}
-    for label in labels:
+    reg_mask: Dict[int, int] = {}
+    gen_mask: Dict[str, int] = {}
+    kill_regs: Dict[str, List[int]] = {}
+    for label in order:
         block = func.block(label)
-        last_def: Dict[int, DefSite] = {}
+        last_def: Dict[int, int] = {}  # reg -> site number
         for index, instr in enumerate(block.instrs):
-            for reg in instr.defs():
-                site = (label, index)
-                defs_of.setdefault(reg.index, set()).add(site)
-                last_def[reg.index] = site
-        gen[label] = last_def
+            regs = instr.defs()
+            if not regs:
+                continue
+            number = len(sites)
+            sites.append((label, index))
+            for reg in regs:
+                defs_of.setdefault(reg.index, set()).add((label, index))
+                reg_mask[reg.index] = reg_mask.get(reg.index, 0) | (
+                    1 << number
+                )
+                last_def[reg.index] = number
+        gen_mask[label] = 0
+        for number in last_def.values():
+            gen_mask[label] |= 1 << number
+        kill_regs[label] = list(last_def)
 
-    reach_in: Dict[str, Set[DefSite]] = {label: set() for label in labels}
-    reach_out: Dict[str, Set[DefSite]] = {label: set() for label in labels}
+    kill_mask: Dict[str, int] = {
+        label: _union_masks(reg_mask, kill_regs[label])
+        for label in order
+    }
 
-    def transfer(label: str, into: Set[DefSite]) -> Set[DefSite]:
-        killed_regs = set(gen[label])
-        out = {
-            site
-            for site in into
-            if not _site_defines_any(func, site, killed_regs)
-        }
-        out |= set(gen[label].values())
-        return out
-
+    reach_in_bits: Dict[str, int] = {label: 0 for label in order}
+    reach_out_bits: Dict[str, int] = {label: 0 for label in order}
     changed = True
     while changed:
         changed = False
-        for label in labels:
-            into: Set[DefSite] = set()
+        for label in order:
+            into = 0
             for pred in preds[label]:
-                if pred in reach_out:
-                    into |= reach_out[pred]
-            out = transfer(label, into)
-            if into != reach_in[label] or out != reach_out[label]:
-                reach_in[label] = into
-                reach_out[label] = out
+                if pred in labels_set:
+                    into |= reach_out_bits[pred]
+            out = (into & ~kill_mask[label]) | gen_mask[label]
+            if into != reach_in_bits[label] or out != reach_out_bits[label]:
+                reach_in_bits[label] = into
+                reach_out_bits[label] = out
                 changed = True
 
+    reach_in: Dict[str, Set[DefSite]] = {
+        label: _sites_from_mask(sites, bits)
+        for label, bits in reach_in_bits.items()
+    }
     return ReachingDefs(func, reach_in, defs_of)
 
 
-def _site_defines_any(
-    func: Function, site: DefSite, reg_indices: Set[int]
-) -> bool:
-    label, index = site
-    instr = func.block(label).instrs[index]
-    return any(r.index in reg_indices for r in instr.defs())
+def _union_masks(reg_mask: Dict[int, int], regs: List[int]) -> int:
+    mask = 0
+    for reg in regs:
+        mask |= reg_mask.get(reg, 0)
+    return mask
+
+
+def _sites_from_mask(sites: List[DefSite], bits: int) -> Set[DefSite]:
+    result: Set[DefSite] = set()
+    number = 0
+    while bits:
+        if bits & 1:
+            result.add(sites[number])
+        bits >>= 1
+        number += 1
+    return result

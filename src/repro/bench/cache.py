@@ -420,6 +420,9 @@ def revive_program(
             entry["rejections"] = [
                 tuple(pair) for pair in entry.get("rejections", [])
             ]
+            entry["elisions"] = [
+                tuple(pair) for pair in entry.get("elisions", [])
+            ]
             reports.append(CoalesceReport(**entry))
         stats: Dict[str, Dict[str, float]] = payload.get("pass_stats", {})
     except Exception:

@@ -61,6 +61,8 @@ class BenchResult:
     memory_accesses: int
     output_ok: bool
     coalesced_loops: int
+    # Figure 5 runtime checks the static alias engine discharged.
+    checks_elided: int = 0
     result: Optional[int] = None
     loads: int = 0
     stores: int = 0
@@ -129,6 +131,7 @@ def run_benchmark(
         memory_accesses=report.memory_accesses,
         output_ok=ok,
         coalesced_loops=compiled.coalesced_loops,
+        checks_elided=compiled.checks_elided,
         result=result,
         loads=report.load_count,
         stores=report.store_count,
@@ -226,6 +229,15 @@ def _stage_and_run(
         return value, value == workloads.ref_eqntott(
             terms, nterms, term_width
         )
+
+    if name == "blockstage":
+        src = workloads.lcg_bytes(pixels, seed=99)
+        a = sim.alloc_array("src", bytes(src))
+        value = sim.call("blockstage", a, pixels)
+        value = _to_signed(value, sim.machine.word_bits)
+        if not check:
+            return value, True
+        return value, value == workloads.ref_blockstage(src, pixels)
 
     if name == "dotproduct":
         count = pixels

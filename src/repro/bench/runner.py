@@ -158,6 +158,7 @@ def _run_spec(spec: BenchSpec) -> Dict[str, object]:
         "memory_accesses": result.memory_accesses,
         "output_ok": result.output_ok,
         "coalesced_loops": result.coalesced_loops,
+        "checks_elided": result.checks_elided,
         "wall_seconds": round(wall, 6),
         "compile_seconds": round(result.compile_seconds, 6),
         "sim_seconds": round(result.sim_seconds, 6),
@@ -191,6 +192,7 @@ def _failed_record(spec: BenchSpec, error: str) -> Dict[str, object]:
         "memory_accesses": 0,
         "output_ok": False,
         "coalesced_loops": 0,
+        "checks_elided": 0,
         "wall_seconds": 0.0,
         "compile_seconds": 0.0,
         "sim_seconds": 0.0,
@@ -465,6 +467,71 @@ def format_compare_table(
         "regressed, failed, or missing from baseline)"
     )
     return "\n".join(lines)
+
+
+def parse_phase_budgets(specs: Sequence[str]) -> Dict[str, float]:
+    """Parse ``--phase-budget`` values: ``PHASE=SECONDS``, comma-separable.
+
+    ``["cleanup=0.3", "global_const_prop=0.2,licm=1"]`` →
+    ``{"cleanup": 0.3, "global_const_prop": 0.2, "licm": 1.0}``.
+    """
+    budgets: Dict[str, float] = {}
+    for spec in specs:
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            phase, _, amount = item.partition("=")
+            phase = phase.strip()
+            if not phase or not amount:
+                raise ValueError(
+                    f"bad phase budget {item!r} (want PHASE=SECONDS)"
+                )
+            try:
+                seconds = float(amount)
+            except ValueError:
+                raise ValueError(
+                    f"bad phase budget {item!r}: {amount!r} is not a number"
+                ) from None
+            if seconds <= 0:
+                raise ValueError(
+                    f"bad phase budget {item!r}: budget must be positive"
+                )
+            budgets[phase] = seconds
+    return budgets
+
+
+def check_phase_budgets(
+    records: List[Dict[str, object]],
+    budgets: Dict[str, float],
+) -> List[str]:
+    """Check aggregated per-phase compile time against the budgets.
+
+    Aggregation matches :func:`format_stats`: the sum of each phase's
+    ``phase_seconds`` across every record (cached entries report the
+    timings of the original compilation).  Returns one overrun message
+    per busted budget; an empty list means every budget held.  A
+    budgeted phase that never ran is an overrun too — a silently renamed
+    or dropped phase must not make the gate vacuously pass.
+    """
+    phases: Dict[str, float] = {}
+    for record in records:
+        for stage, seconds in record.get("phase_seconds", {}).items():
+            phases[stage] = phases.get(stage, 0.0) + seconds
+    overruns: List[str] = []
+    for phase in sorted(budgets):
+        budget = budgets[phase]
+        if phase not in phases:
+            overruns.append(
+                f"phase {phase!r} has a budget of {budget:g}s but never "
+                "ran (renamed or dropped?)"
+            )
+        elif phases[phase] > budget:
+            overruns.append(
+                f"phase {phase!r} spent {phases[phase]:.3f}s, over its "
+                f"{budget:g}s budget"
+            )
+    return overruns
 
 
 def format_stats(records: List[Dict[str, object]]) -> str:

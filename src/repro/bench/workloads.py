@@ -112,6 +112,13 @@ def ref_dotproduct(a: List[int], b: List[int]) -> int:
     return sum(x * y for x, y in zip(a, b))
 
 
+def ref_blockstage(src: List[int], n: int) -> int:
+    total = 0
+    for t in range(0, n - 63, 64):
+        total += sum(255 - value for value in src[t:t + 64])
+    return total
+
+
 def eqntott_terms(nterms: int, width: int, seed: int = 777) -> List[int]:
     """Product-term table: 0/1/2 values (2 = don't care) with long equal
     prefixes, like eqntott's bit vectors — comparisons scan deep before

@@ -45,6 +45,10 @@ class CoalesceReport:
     runs_safe: int = 0
     rejections: List[Tuple[str, str]] = field(default_factory=list)
     alias_pairs: int = 0
+    # Figure 5 checks the alias engine discharged statically, and a
+    # (kind, why) line per elision.
+    checks_elided: int = 0
+    elisions: List[Tuple[str, str]] = field(default_factory=list)
     cycles_original: int = 0
     cycles_coalesced: int = 0
     applied: bool = False
@@ -88,6 +92,7 @@ def coalesce_function(
     force: bool = False,
     divisibility_factor: Optional[int] = None,
     unaligned_loads: bool = False,
+    elide_checks: bool = True,
 ) -> List[CoalesceReport]:
     """Run memory access coalescing on every eligible loop of ``func``.
 
@@ -101,15 +106,28 @@ def coalesce_function(
     wide accesses (Figure 3's UnAlignedWideType) — two ``ldq_u``-style
     loads plus shifts instead of one aligned load, but no run-time
     alignment check and therefore no fallback risk.
+
+    ``elide_checks`` lets the static alias engine discharge Figure 5
+    checks it can prove: overlap checks for partition pairs proved
+    disjoint, alignment checks for provably aligned frame-slot streams,
+    divisibility checks for constant trip counts.  With it off the full
+    check chain is emitted (the chaos/fault-injection fallback), but
+    every dischargeable check is still *marked* so the
+    ``redundant-runtime-check`` lint can flag it.
     """
     machine = ctx.machine
     use_unaligned = unaligned_loads and machine.has_unaligned_wide
     reports: List[CoalesceReport] = []
+    # One engine pass over the pre-coalescing function serves every loop
+    # (check insertion only adds preheader blocks; the analyzed loop
+    # bodies are untouched).
+    summary = ctx.analyses.memdep(func)
 
     for loop in find_loops(func):
         if len(loop.blocks) != 1 or loop.header not in loop.latches:
             continue
         report = CoalesceReport(func.name, loop.header)
+        oracle = summary.loop(loop.header)
         block = func.block(loop.header)
         partitions = classify_partitions(func, loop, block)
         runs = find_runs(
@@ -125,13 +143,38 @@ def coalesce_function(
 
         accepted: List[Run] = []
         alias_keys: Set[Tuple[int, int]] = set()
+        elided_keys: Set[Tuple[int, int]] = set()
         for run in runs:
-            hazard = check_hazards(block, run, partitions)
+            hazard = check_hazards(block, run, partitions, oracle)
             if hazard.safe:
                 accepted.append(run)
                 alias_keys |= hazard.alias_pairs
+                elided_keys |= hazard.elided_pairs
             else:
                 report.rejections.append((repr(run), hazard.reason))
+        elided_keys -= alias_keys  # a pair some run still needs stays
+
+        # Keys the engine could discharge; with elision off they are
+        # emitted anyway but marked for the redundant-runtime-check lint.
+        dischargeable: Set[Tuple] = set()
+
+        def describe(a: int, b: int) -> str:
+            return (
+                f"r{a} ({oracle.base_exprs.get(a)}) never overlaps "
+                f"r{b} ({oracle.base_exprs.get(b)})"
+            )
+
+        # Elisions counted on the report only if this loop is actually
+        # transformed — a skipped loop emits no checks to elide.
+        pending_elisions: List[Tuple[str, str]] = []
+        if elide_checks:
+            for a, b in sorted(elided_keys):
+                pending_elisions.append(("alias", describe(a, b)))
+        else:
+            for a, b in sorted(elided_keys):
+                dischargeable.add(("alias", a, b))
+            alias_keys |= elided_keys
+
         report.runs_safe = len(accepted)
         report.alias_pairs = len(alias_keys)
         if not accepted:
@@ -139,8 +182,25 @@ def coalesce_function(
             reports.append(report)
             continue
 
+        divisibility = divisibility_factor
+        if (
+            divisibility is not None
+            and oracle is not None
+            and oracle.trip_count is not None
+            and oracle.trip_count % divisibility == 0
+        ):
+            if elide_checks:
+                pending_elisions.append((
+                    "divisibility",
+                    f"{oracle.trip_count} iterations divide by "
+                    f"{divisibility}",
+                ))
+                divisibility = None
+            else:
+                dischargeable.add(("divisibility",))
+
         trip = analyze_trip_count(func, loop)
-        if (alias_keys or divisibility_factor) and trip is None:
+        if (alias_keys or divisibility) and trip is None:
             report.skipped_reason = (
                 "needs run-time checks but the trip count is opaque"
             )
@@ -231,23 +291,57 @@ def coalesce_function(
             continue
         report.runs_safe = len(accepted)
 
+        # Alignment checks for the surviving runs, minus those the engine
+        # proves (a frame-slot stream whose slot alignment, start offset
+        # and step all land on wide boundaries).  Provability is a
+        # function of the dedup key, so eliding per key is sound.
+        alignments: List[Tuple] = []
+        seen_align = set()
+        for run in accepted:
+            if not (
+                run.is_store
+                or not use_unaligned
+                or run.wide_width != machine.word_bytes
+            ):
+                continue
+            base_index = run.partition.base.index
+            key = (
+                base_index, run.start_disp % run.wide_width, run.wide_width
+            )
+            if key in seen_align:
+                continue
+            seen_align.add(key)
+            provable = summary.aligned(
+                loop.header, base_index, run.start_disp, run.wide_width
+            )
+            if provable and elide_checks:
+                pending_elisions.append((
+                    "alignment",
+                    f"r{base_index}+{run.start_disp} "
+                    f"({oracle.base_exprs.get(base_index)}) is "
+                    f"{run.wide_width}-byte aligned",
+                ))
+                continue
+            if provable:
+                dischargeable.add(("alignment",) + key)
+            alignments.append(
+                (run.partition.base, run.start_disp, run.wide_width)
+            )
+
         # Commit: splice LCOPY and the run-time checks in.
         func.blocks.insert(func.block_index(loop.header) + 1, lcopy)
         plan = CheckPlan(
-            alignments=[
-                (run.partition.base, run.start_disp, run.wide_width)
-                for run in accepted
-                if run.is_store
-                or not use_unaligned
-                or run.wide_width != machine.word_bytes
-            ],
+            alignments=alignments,
             alias_pairs=[
                 (partitions[a], partitions[b]) for a, b in sorted(alias_keys)
             ],
             trip=trip,
-            divisibility=divisibility_factor,
+            divisibility=divisibility,
+            dischargeable=frozenset(dischargeable),
         )
         insert_runtime_checks(func, loop, lcopy_label, plan)
+        report.elisions.extend(pending_elisions)
+        report.checks_elided = len(report.elisions)
         report.applied = True
         report.lcopy_label = lcopy_label
         reports.append(report)

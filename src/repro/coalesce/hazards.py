@@ -13,6 +13,13 @@ operation crossed by that motion is examined:
   (``DoAliasDetection``);
 * a call, or a redefinition of the run's base register inside the crossed
   region, rejects the run (the base-and-displacement reasoning breaks).
+
+When the caller supplies the alias engine's loop summary (``oracle``), a
+cross-partition pair the engine proved ``no-alias`` skips the run-time
+check entirely: the pair lands in ``elided_pairs`` instead of
+``alias_pairs``.  The verdict is sound for exactly this question — a
+no-alias pair never touches the same byte *within one iteration*, and the
+code motion being vetted only reorders operations of one iteration.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.alias.lattice import NO_ALIAS
 from repro.coalesce.partition import MemoryRef, Partition, Run
 from repro.ir.function import BasicBlock
 from repro.ir.rtl import Call, Instr, Load, Store
@@ -34,6 +42,8 @@ class HazardResult:
     # Pairs of partition base register indices needing run-time overlap
     # checks (order-insensitive).
     alias_pairs: Set[Tuple[int, int]] = field(default_factory=set)
+    # Pairs the alias engine proved disjoint — no check needed.
+    elided_pairs: Set[Tuple[int, int]] = field(default_factory=set)
 
 
 def _ranges_overlap(a: MemoryRef, b_disp: int, b_width: int) -> bool:
@@ -50,11 +60,27 @@ def check_hazards(
     block: BasicBlock,
     run: Run,
     partitions: Dict[int, Partition],
+    oracle=None,
 ) -> HazardResult:
-    """Apply Figure 4's rules to ``run`` within ``block``."""
+    """Apply Figure 4's rules to ``run`` within ``block``.
+
+    ``oracle`` is an optional
+    :class:`repro.analysis.alias.LoopAliasSummary` for this loop; pairs
+    it proves disjoint need no run-time check.
+    """
     base_index = run.partition.base.index
     result = HazardResult(safe=True)
     ref_by_index = {r.index: r for r in run.refs}
+
+    def record_pair(other: int) -> None:
+        pair = _pair(base_index, other)
+        if (
+            oracle is not None
+            and oracle.verdict(base_index, other) == NO_ALIAS
+        ):
+            result.elided_pairs.add(pair)
+        else:
+            result.alias_pairs.add(pair)
 
     first = run.first_index
     last = run.last_index
@@ -106,7 +132,7 @@ def check_hazards(
                             False, "store with unanalyzable base crosses "
                                    "the loads"
                         )
-                    result.alias_pairs.add(_pair(base_index, other_base))
+                    record_pair(other_base)
         else:
             # Stores move DOWN to `last`.  Crossing a load matters for the
             # member stores that originally executed before it; crossing
@@ -132,7 +158,7 @@ def check_hazards(
                             False, "load with unanalyzable base crosses "
                                    "the stores"
                         )
-                    result.alias_pairs.add(_pair(base_index, other_base))
+                    record_pair(other_base)
             else:  # a store outside the run
                 conflict = any(
                     _ranges_overlap(ref, instr.disp, instr.width)
@@ -153,5 +179,5 @@ def check_hazards(
                             False, "store with unanalyzable base inside "
                                    "the region"
                         )
-                    result.alias_pairs.add(_pair(base_index, other_base))
+                    record_pair(other_base)
     return result

@@ -49,6 +49,14 @@ class CheckPlan:
     # In "versioned" mode (no remainder prologue) the trip count must also
     # be divisible by the unroll factor (the paper's ``n % 4`` check).
     divisibility: Optional[int] = None
+    # Check keys the alias engine *could* have discharged but that are
+    # being emitted anyway (check elision disabled, e.g. under fault
+    # injection).  Keys: ``('alias', a, b)``,
+    # ``('alignment', base, disp % wide, wide)``, ``('divisibility',)``.
+    # The emitted branches carry this verdict in
+    # ``notes['runtime_check']['dischargeable']`` so the
+    # ``redundant-runtime-check`` lint can flag them.
+    dischargeable: frozenset = frozenset()
 
     @property
     def needs_trip_count(self) -> bool:
@@ -124,8 +132,18 @@ def insert_runtime_checks(
             trips_minus_1 = func.new_reg("tm1")
             setup.append(BinOp("sub", trips_minus_1, trips, Const(1)))
 
-    # Each step: (instrs, rel, a, b) — branch taken => check FAILED.
-    steps: List[Tuple[List[Instr], str, object, object]] = []
+    def _note(kind: str, key: Tuple, **extra) -> Dict[str, object]:
+        """The ``runtime_check`` annotation carried by a check branch."""
+        note = {
+            "kind": kind,
+            "loop": loop.header,
+            "dischargeable": key in plan.dischargeable,
+        }
+        note.update(extra)
+        return note
+
+    # Each step: (instrs, rel, a, b, note) — branch taken => check FAILED.
+    steps: List[Tuple[List[Instr], str, object, object, Dict]] = []
 
     if plan.divisibility is not None:
         code: List[Instr] = []
@@ -135,7 +153,8 @@ def insert_runtime_checks(
             code.append(BinOp("and", residue, trips, Const(factor - 1)))
         else:
             code.append(BinOp("remu", residue, trips, Const(factor)))
-        steps.append((code, "ne", residue, Const(0)))
+        note = _note("divisibility", ("divisibility",), factor=factor)
+        steps.append((code, "ne", residue, Const(0), note))
 
     spans: Dict[int, Tuple[Reg, Reg]] = {}
     for left, right in plan.alias_pairs:
@@ -147,11 +166,13 @@ def insert_runtime_checks(
                 )
         lo_l, hi_l = spans[left.base.index]
         lo_r, hi_r = spans[right.base.index]
+        pair = tuple(sorted((left.base.index, right.base.index)))
+        note = _note("alias", ("alias",) + pair, bases=pair)
         # Overlap iff lo_l < hi_r and lo_r < hi_l; fail on overlap, which
         # needs two branches: pass early if hi_l <= lo_r, else fail if
         # lo_l < hi_r.  Encode as two steps with an inverted first test.
-        steps.append((code, "__pass__ leu", hi_l, lo_r))
-        steps.append(([], "ltu", lo_l, hi_r))
+        steps.append((code, "__pass__ leu", hi_l, lo_r, note))
+        steps.append(([], "ltu", lo_l, hi_r, note))
 
     seen_alignment = set()
     for base, start_disp, wide_width in plan.alignments:
@@ -168,13 +189,17 @@ def insert_runtime_checks(
         code.append(
             BinOp("and", low_bits, addr, Const(wide_width - 1))
         )
-        steps.append((code, "ne", low_bits, Const(0)))
+        note = _note(
+            "alignment", ("alignment",) + key,
+            base=base.index, disp=start_disp, width=wide_width,
+        )
+        steps.append((code, "ne", low_bits, Const(0), note))
 
     # Materialize the chain.
     labels = [func.new_label("chk") for _ in steps]
     insert_at = func.block_index(loop.header)
     blocks: List[BasicBlock] = []
-    for position, (code, rel, a, b) in enumerate(steps):
+    for position, (code, rel, a, b, note) in enumerate(steps):
         passed = (
             labels[position + 1] if position + 1 < len(steps)
             else lcopy_label
@@ -191,6 +216,7 @@ def insert_runtime_checks(
             term = CondJump(real_rel, a, b, skip_to, passed)
         else:
             term = CondJump(rel, a, b, fallback, passed)
+        term.notes["runtime_check"] = note
         blocks.append(BasicBlock(labels[position], code + [term]))
     if not blocks:
         blocks = [BasicBlock(func.new_label("chk"), [Jump(lcopy_label)])]

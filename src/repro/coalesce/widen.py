@@ -59,6 +59,25 @@ def _field_position(run: Run, ref_disp: int, machine) -> int:
     return offset
 
 
+def _inherit_root_note(wide_instr: Instr, run: Run, width: int) -> None:
+    """Carry the members' ``memdep_root`` claim onto the wide reference.
+
+    The wide access touches exactly the union of the members' bytes, so
+    when every member claims the same object the wide reference claims
+    it too — at the wide width — keeping the coalesced (always-executed)
+    path under the ``alias-consistency`` audit, not just the fallback.
+    """
+    notes = [ref.instr.notes.get("memdep_root") for ref in run.refs]
+    note = notes[0]
+    if note and all(
+        other
+        and other["kind"] == note["kind"]
+        and other["name"] == note["name"]
+        for other in notes
+    ):
+        wide_instr.notes["memdep_root"] = dict(note, width=width)
+
+
 def widen_run(func: Function, run: Run, machine) -> Dict[int, List[Instr]]:
     """Plan the replacement instructions for one run.
 
@@ -88,6 +107,7 @@ def widen_run(func: Function, run: Run, machine) -> Dict[int, List[Instr]]:
             wide_reg, run.partition.base, start, wide, signed=False
         )
         wide_load.notes["coalesced"] = True
+        _inherit_root_note(wide_load, run, wide)
         plan[first_ref.index] = [wide_load] + plan[first_ref.index]
         return plan
 
@@ -112,6 +132,7 @@ def widen_run(func: Function, run: Run, machine) -> Dict[int, List[Instr]]:
     last_ref = ordered[-1]
     wide_store = Store(run.partition.base, start, acc, wide)
     wide_store.notes["coalesced"] = True
+    _inherit_root_note(wide_store, run, wide)
     plan[last_ref.index].append(wide_store)
     return plan
 
@@ -162,6 +183,11 @@ def widen_run_unaligned(func: Function, run: Run) -> Dict[int, List[Instr]]:
     load2 = Load(q2, addr, wide - 1, wide, signed=False, unaligned=True)
     load1.notes["coalesced"] = True
     load2.notes["coalesced"] = True
+    # The audit special-cases unaligned loads (they read the containing
+    # aligned word), checking only the addressed byte — which for both
+    # halves lies inside the claimed object.
+    _inherit_root_note(load1, run, wide)
+    _inherit_root_note(load2, run, wide)
     setup.extend(
         [
             load1,

@@ -200,3 +200,8 @@ def copy_propagate(func: Function, ctx: PassContext) -> bool:
     changed |= _coalesce_copies(func)
     changed |= _rematerialize_increments(func)
     return changed
+
+
+#: Deletes and rewrites straight-line instructions only; terminator
+#: targets and the block list are untouched.
+copy_propagate.preserves = frozenset({"dominators"})

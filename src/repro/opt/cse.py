@@ -144,3 +144,7 @@ def _key_reads(key: Tuple, reg_indices: set) -> bool:
         ):
             return True
     return False
+
+
+#: Block-local rewrites only — the dominator tree survives.
+local_cse.preserves = frozenset({"dominators"})

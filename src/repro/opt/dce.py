@@ -60,3 +60,7 @@ def dead_code_elimination(func: Function, ctx: PassContext) -> bool:
             changed = True
             block.instrs = kept
     return changed
+
+
+#: Removes straight-line instructions; the CFG shape is untouched.
+dead_code_elimination.preserves = frozenset({"dominators"})

@@ -1,60 +1,127 @@
 """Global (cross-block) constant propagation.
 
 Block-local propagation misses the common pattern where a counter is
-zeroed in the entry block and consumed in a loop preheader; this pass uses
-reaching definitions to close that gap: a use is replaced when *every*
-definition reaching it moves the same constant.
+zeroed in the entry block and consumed in a loop preheader; this pass
+closes that gap: a use is replaced when *every* definition reaching it
+moves the same constant.
 
-Deliberately simple (no conditional constant propagation); combined with
-the rest of the cleanup bundle run to a fixpoint it retires the dead
-original counters left behind by linear function test replacement.
+The engine is a sparse worklist over the cached def-use chains
+(:mod:`repro.analysis.defuse`, via the context's
+:class:`repro.analysis.manager.AnalysisManager`): constant-moving
+definitions seed the worklist, each one visits only its recorded uses,
+and a copy whose source collapses to a constant re-enters the worklist —
+so a whole chain ``a = 3; b = a; c = b`` retires in one invocation
+instead of one fixpoint round per link.  The old implementation re-solved
+reaching definitions and re-walked a block prefix per use
+(``O(instructions²)``); this one touches each use a constant number of
+times.
+
+When a merge of *conflicting* constants blocks propagation the pass
+reports a note through ``ctx.sink`` (when the sanitizer is listening), so
+a differential failure attributed to this pass comes with the merge
+points that decided what it did and did not rewrite.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from collections import deque
+from typing import Dict, Optional, Set
 
-from repro.analysis.reaching import reaching_definitions
+from repro.analysis.defuse import DefUseChains, def_use_chains
 from repro.ir.function import Function
-from repro.ir.rtl import Const, Mov, Reg
+from repro.ir.rtl import Const, Load, Mov, Reg, Store
 from repro.opt.pass_manager import PassContext
 
 
 def global_const_prop(func: Function, ctx: PassContext) -> bool:
-    reaching = reaching_definitions(func)
+    analyses = getattr(ctx, "analyses", None)
+    chains: DefUseChains = (
+        analyses.defuse(func) if analyses is not None
+        else def_use_chains(func)
+    )
+
+    # Seed: every definition site that moves a constant.
+    const_of: Dict[tuple, int] = {}
+    worklist = deque()
+    for sites in chains.reaching.defs_of.values():
+        for site in sites:
+            label, index = site
+            instr = func.block(label).instrs[index]
+            if isinstance(instr, Mov) and isinstance(instr.src, Const):
+                const_of[site] = instr.src.value
+                worklist.append(site)
+
     changed = False
-    for block in func.blocks:
-        if block.label not in reaching.reach_in:
-            continue  # unreachable
-        for index, instr in enumerate(block.instrs):
-            mapping: Dict[Reg, Const] = {}
-            for reg in instr.uses():
-                value = _constant_at(
-                    reaching, block.label, index, reg.index
+    rewritten: Set[tuple] = set()
+    reported: Set[tuple] = set()
+    while worklist:
+        site = worklist.popleft()
+        for use in chains.uses_of.get(site, ()):
+            if use in rewritten:
+                continue
+            label, index, reg_index = use
+            sites = chains.defs_for[use]
+            if not sites:
+                continue  # undefined (a parameter): leave alone
+            values = []
+            for def_site in sites:
+                value = const_of.get(def_site)
+                if value is None and def_site not in const_of:
+                    break  # a non-constant definition reaches too
+                values.append(value)
+            else:
+                if len(set(values)) != 1:
+                    _report_conflict(
+                        ctx, func, use, sorted(set(values)), reported
+                    )
+                    continue
+                instr = func.block(label).instrs[index]
+                if (
+                    isinstance(instr, (Load, Store))
+                    and instr.base.index == reg_index
+                ):
+                    continue  # an address must stay in a register
+                instr.substitute_uses(
+                    {Reg(reg_index): Const(values[0])}
                 )
-                if value is not None:
-                    mapping[reg] = Const(value)
-            if mapping:
-                before = repr(instr)
-                instr.substitute_uses(mapping)
-                if repr(instr) != before:
-                    changed = True
+                rewritten.add(use)
+                changed = True
+                # A copy that just collapsed to `dst = const` is a new
+                # constant source: revisit its uses.
+                if isinstance(instr, Mov) and isinstance(instr.src, Const):
+                    own_site = (label, index)
+                    if own_site not in const_of:
+                        const_of[own_site] = instr.src.value
+                        worklist.append(own_site)
     return changed
 
 
-def _constant_at(
-    reaching, label: str, index: int, reg_index: int
-) -> Optional[int]:
-    sites = reaching.reaching_at(label, index, reg_index)
-    if not sites:
-        return None  # undefined (a parameter): leave alone
-    value: Optional[int] = None
-    for site_label, site_index in sites:
-        instr = reaching.func.block(site_label).instrs[site_index]
-        if not isinstance(instr, Mov) or not isinstance(instr.src, Const):
-            return None
-        if value is None:
-            value = instr.src.value
-        elif value != instr.src.value:
-            return None
-    return value
+#: Rewrites operands in place: definition sites, the CFG, and therefore
+#: the reaching-definition solution all survive unchanged.  (The def-use
+#: chains do not — this pass consumes the uses it rewrites.)
+global_const_prop.preserves = frozenset({"reaching", "dominators"})
+
+
+def _report_conflict(
+    ctx: PassContext,
+    func: Function,
+    use: tuple,
+    values,
+    reported: Set[tuple],
+) -> None:
+    """Note a constant merge conflict through the sanitizer sink."""
+    if ctx.sink is None or use in reported:
+        return
+    reported.add(use)
+    from repro.sanitize.diagnostics import Location
+
+    label, index, reg_index = use
+    ctx.sink.note(
+        "global-const-prop",
+        f"r{reg_index} merges conflicting constants "
+        f"({', '.join(str(v) for v in values)}); not propagated",
+        location=Location(func.name, label, index),
+        provenance="global_const_prop",
+        hint="the register is a loop-carried or path-dependent value; "
+             "propagation correctly stops at the merge",
+    )

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.manager import AnalysisManager, invalidate_after
 from repro.ir.function import Function, Module
 from repro.ir.verifier import verify_function
 from repro.machine.machine import MachineDescription
@@ -44,6 +45,10 @@ class PassContext:
     faults: Optional[object] = None
     # pass name -> {"runs": int, "changed": int, "seconds": float}
     stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    # Cached dataflow (repro.analysis.manager).  A pass that changes a
+    # function must let the manager know; declaring a ``preserves`` set
+    # on the pass callable keeps the named analyses alive across it.
+    analyses: AnalysisManager = field(default_factory=AnalysisManager)
 
     @property
     def word_bytes(self) -> int:
@@ -100,10 +105,13 @@ class PassManager:
         guard = self._guard(func, module, sanitizer)
         if guard is not None:
             for name, pass_fn in self.passes:
-                guard.stage(
+                outcome = guard.stage(
                     self.ctx, name,
                     lambda pass_fn=pass_fn: pass_fn(func, self.ctx),
                     func=func, verify_after=self.ctx.verify,
+                )
+                invalidate_after(
+                    pass_fn, self.ctx.analyses, func, outcome
                 )
             return
         for name, pass_fn in self.passes:
@@ -113,6 +121,7 @@ class PassManager:
             self.ctx.record_pass(
                 name, changed, time.perf_counter() - started
             )
+            invalidate_after(pass_fn, self.ctx.analyses, func, changed)
             if self.ctx.verify:
                 verify_function(func)
             if sanitizer is not None and changed:
@@ -159,6 +168,7 @@ def run_to_fixpoint(
             ctx.record_pass(
                 name, pass_changed, time.perf_counter() - started
             )
+            invalidate_after(pass_fn, ctx.analyses, func, pass_changed)
             if pass_changed:
                 changed = True
                 if ctx.verify:

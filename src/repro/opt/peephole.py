@@ -101,3 +101,8 @@ def _still_valid(
         if any(r.index == source.index for r in middle.defs()):
             return False
     return True
+
+
+#: Pure instruction rewrites: the CFG (and so the dominator tree)
+#: survives untouched.
+peephole.preserves = frozenset({"dominators"})

@@ -50,6 +50,11 @@ class PipelineConfig:
     unroll_factor: Optional[int] = None
     coalesce: str = "none"           # 'none' | 'loads' | 'all'
     force_coalesce: bool = False
+    # Let the static alias engine discharge Figure 5 run-time checks it
+    # can prove (overlap, alignment, divisibility).  Automatically
+    # disabled when faults are being injected: the chaos path must
+    # exercise the full check chain and the original-loop fallback.
+    elide_checks: bool = True
     schedule: bool = True
     verify: bool = True
     # Add the paper's "n % k" preheader check instead of relying on the
@@ -156,6 +161,13 @@ class CompiledProgram:
         return sum(1 for r in self.coalesce_reports if r.applied)
 
     @property
+    def checks_elided(self) -> int:
+        """Figure 5 run-time checks the alias engine discharged."""
+        return sum(
+            getattr(r, "checks_elided", 0) for r in self.coalesce_reports
+        )
+
+    @property
     def degraded(self) -> bool:
         """Did any pass fail and get rolled back during compilation?"""
         return bool(self.pass_failures)
@@ -255,12 +267,19 @@ def compile_minic(
         """
         if cancel is not None:
             cancel()
-        return guard.stage(ctx, name, thunk, func=func)
+        result = guard.stage(ctx, name, thunk, func=func)
+        # A stage that touched the function (or whose outcome is unknown
+        # after a rollback) retires its cached dataflow; the passes inside
+        # run_to_fixpoint already invalidate at pass granularity.
+        if result is not False:
+            ctx.analyses.invalidate(func)
+        return result
 
     def module_stage(name: str, thunk) -> None:
         if cancel is not None:
             cancel()
         guard.stage(ctx, name, thunk)
+        ctx.analyses.clear()
 
     for func in module:
         if config.optimize:
@@ -275,6 +294,13 @@ def compile_minic(
             stage(func, "unroll", lambda: unroll_function(
                 func, ctx, factor=config.unroll_factor))
             stage(func, "cleanup", lambda: cleanup(func, ctx))
+        if config.sanitize or config.differential:
+            # Tag loads/stores with their resolved root objects while the
+            # IR is still analyzable (pre-lowering); the differential
+            # alias-consistency checker validates the claims later.
+            from repro.analysis.alias import annotate_memory_roots
+
+            annotate_memory_roots(func, ctx.analyses.memdep(func))
         if config.coalesce != "none":
             divisibility = None
             if config.versioned_divisibility:
@@ -287,6 +313,7 @@ def compile_minic(
                     force=config.force_coalesce,
                     divisibility_factor=divisibility,
                     unaligned_loads=config.unaligned_loads,
+                    elide_checks=config.elide_checks and not faults,
                 )) or []
             )
             if config.optimize:

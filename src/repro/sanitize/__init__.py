@@ -40,6 +40,7 @@ from repro.sanitize.registry import (
 # Importing the checker modules registers them.
 from repro.sanitize import checkers as _checkers  # noqa: F401
 from repro.sanitize import coalesce_safety as _coalesce_safety  # noqa: F401
+from repro.sanitize import alias_checks as _alias_checks  # noqa: F401
 
 from repro.sanitize.differential import (
     DifferentialSanitizer,

@@ -159,14 +159,21 @@ def run_fixture(
     func_name: str,
     machine,
     fixture: Fixture,
+    trace_hook=None,
 ) -> Outcome:
     """Execute one fixture in a fresh interpreter; never raises for
-    simulation faults (they become the outcome's status)."""
+    simulation faults (they become the outcome's status).
+
+    ``trace_hook`` is forwarded to the interpreter (one call per
+    executed Load/Store); the alias-consistency checker uses it to
+    audit the static engine's claims against concrete addresses.
+    """
     from repro.sim.interp import Interpreter
 
     interp = Interpreter(
         module, machine, simulate_caches=False,
         max_steps=MAX_FIXTURE_STEPS,
+        trace_hook=trace_hook,
     )
     buffers: List[Tuple[int, int]] = []  # (address, size)
     args: List[int] = []

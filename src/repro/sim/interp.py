@@ -109,12 +109,18 @@ class Interpreter:
         simulate_caches: bool = True,
         max_steps: int = 200_000_000,
         fault_hook=None,
+        trace_hook=None,
     ):
         self.module = module
         self.machine = machine
         # Optional chaos hook called as hook(func_name, block_label) at
         # every block entry; FaultPlan.sim_hook() uses it to plant stalls.
         self.fault_hook = fault_hook
+        # Optional memory-trace hook called as
+        # hook(func_name, instr, addr, frame_slots, global_addrs) at every
+        # Load/Store; the alias-consistency checker cross-checks the
+        # engine's static claims against these concrete addresses.
+        self.trace_hook = trace_hook
         self.memory = memory or SimMemory(endian=machine.endian)
         if self.memory.endian != machine.endian:
             raise SimulationError(
@@ -237,6 +243,11 @@ class Interpreter:
                     elif kind is Load:
                         addr = (regs[instr.base.index] + instr.disp) \
                             & self._mask
+                        if self.trace_hook is not None:
+                            self.trace_hook(
+                                func.name, instr, addr, frame.slots,
+                                self.global_addrs,
+                            )
                         value = memory.load(
                             addr, instr.width, instr.signed, instr.unaligned
                         )
@@ -247,6 +258,11 @@ class Interpreter:
                     elif kind is Store:
                         addr = (regs[instr.base.index] + instr.disp) \
                             & self._mask
+                        if self.trace_hook is not None:
+                            self.trace_hook(
+                                func.name, instr, addr, frame.slots,
+                                self.global_addrs,
+                            )
                         memory.store(
                             addr,
                             instr.width,

@@ -48,6 +48,7 @@ class Simulator:
         max_steps: Optional[int] = None,
         engine: str = "interp",
         fault_hook=None,
+        trace_hook=None,
     ):
         self.module = module
         self.machine = machine
@@ -63,11 +64,16 @@ class Simulator:
                 simulate_caches=simulate_caches,
                 max_steps=max_steps,
                 fault_hook=fault_hook,
+                trace_hook=trace_hook,
             )
         elif engine == "translate":
             if fault_hook is not None:
                 raise SimulationError(
                     "fault_hook requires the 'interp' engine"
+                )
+            if trace_hook is not None:
+                raise SimulationError(
+                    "trace_hook requires the 'interp' engine"
                 )
             from repro.sim.translate import TranslatedEngine
 
