@@ -110,6 +110,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sim_backend(parser: argparse.ArgumentParser) -> None:
+    from repro.sim import SIM_BACKENDS
+
+    parser.add_argument(
+        "--sim-backend", default=None, choices=SIM_BACKENDS,
+        help="simulator backend: interp (reference) or compiled "
+             "(block-compiling, bit-identical counts; default: "
+             "$REPRO_SIM_BACKEND or interp)",
+    )
+
+
 def _compile_from_args(args, **extra) -> object:
     from repro.resilience.faults import FaultPlan
 
@@ -147,7 +158,9 @@ def cmd_compile(args) -> int:
 
 def cmd_run(args) -> int:
     program = _compile_from_args(args)
-    sim = program.simulator(max_steps=args.max_steps)
+    sim = program.simulator(
+        max_steps=args.max_steps, backend=args.sim_backend
+    )
     addresses = {}
     for spec in args.array or []:
         name, width, values = spec.split(":", 2)
@@ -362,6 +375,7 @@ def cmd_bench(args) -> int:
             programs=programs, machines=machines, variants=variants,
             width=size, jobs=jobs, progress=progress,
             cell_timeout=args.cell_timeout,
+            sim_backend=args.sim_backend,
         )
     except (ReproError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -391,6 +405,13 @@ def cmd_bench(args) -> int:
     for overrun in overruns:
         print(f"phase budget: {overrun}", file=sys.stderr)
 
+    rate_problems = (
+        runner.check_sim_rate(records, args.min_sim_rate)
+        if args.min_sim_rate else []
+    )
+    for problem in rate_problems:
+        print(f"sim rate: {problem}", file=sys.stderr)
+
     bad_output = [
         r for r in records
         if r.get("status", "ok") == "ok" and not r["output_ok"]
@@ -412,6 +433,11 @@ def cmd_bench(args) -> int:
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if not args.allow_backend_mismatch:
+            mismatch = runner.backend_mismatch(records, baseline)
+            if mismatch:
+                print(f"error: {mismatch}", file=sys.stderr)
+                return 1
         rows = runner.compare_runs(records, baseline, tolerance)
         print(runner.format_compare_table(rows, tolerance))
         if not runner.gate_passed(rows):
@@ -428,6 +454,13 @@ def cmd_bench(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if rate_problems:
+        print(
+            f"error: {len(rate_problems)} simulation-rate floor "
+            "violation(s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -435,6 +468,159 @@ def _emit_json(payload) -> None:
     import json
 
     print(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def cmd_simdiff(args) -> int:
+    """Differential interp-vs-compiled gate over the benchmark matrix.
+
+    Runs every requested cell on both simulator backends and fails on
+    any divergence in outputs, cycles, loads/stores or cache misses —
+    the parity contract, enforced end to end.  ``--expect-speedup``
+    additionally asserts the compiled backend's throughput advantage.
+    """
+    import json
+
+    from repro.bench import runner
+    from repro.errors import ReproError
+
+    programs = list(runner.ALL_PROGRAMS)
+    if args.programs:
+        programs = [p.strip() for p in args.programs.split(",")]
+    machines = list(runner.ALL_MACHINES)
+    if args.machines:
+        machines = [m.strip() for m in args.machines.split(",")]
+        unknown = set(machines) - set(MACHINE_NAMES)
+        if unknown:
+            print(
+                f"error: unknown machine(s) {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+    variants = list(runner.COLUMNS)
+    if args.variants:
+        variants = [v.strip() for v in args.variants.split(",")]
+        unknown = set(variants) - set(runner.COLUMNS)
+        if unknown:
+            print(
+                f"error: unknown variant(s) {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    jobs = args.jobs if args.jobs is not None else runner.default_jobs()
+    total = len(programs) * len(machines) * len(variants)
+    runs = {}
+    try:
+        for backend in ("interp", "compiled"):
+            print(
+                f"simdiff: {total} cells on the {backend} backend "
+                f"({args.size}x{args.size} images, {jobs} "
+                f"job{'s' if jobs != 1 else ''})",
+                file=sys.stderr,
+            )
+            runs[backend] = runner.run_matrix(
+                programs=programs, machines=machines, variants=variants,
+                width=args.size, jobs=jobs, sim_backend=backend,
+            )
+    except (ReproError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    problems = runner.compare_backends(runs["interp"], runs["compiled"])
+    for record in runs["compiled"]:
+        if (
+            record.get("status", "ok") == "ok"
+            and record.get("sim_backend") != "compiled"
+        ):
+            problems.append(
+                f"{record['program']}/{record['machine']}/"
+                f"{record['variant']}: requested the compiled backend "
+                f"but ran {record['sim_backend']!r} — no differential "
+                "coverage for this cell"
+            )
+
+    def cell_key(record):
+        return (
+            record["program"], record["machine"], record["variant"],
+        )
+
+    interp_rates = {
+        cell_key(r): r["sim_instrs_per_sec"]
+        for r in runs["interp"]
+        if r.get("status", "ok") == "ok"
+        and r.get("sim_instrs_per_sec")
+    }
+    speedups = []
+    for record in runs["compiled"]:
+        base = interp_rates.get(cell_key(record))
+        rate = record.get("sim_instrs_per_sec")
+        if (
+            base and rate
+            and record.get("status", "ok") == "ok"
+            and record.get("sim_backend") == "compiled"
+        ):
+            speedups.append((rate / base, rate, base, cell_key(record)))
+    speedups.sort(reverse=True)
+    best = speedups[0] if speedups else None
+
+    if args.expect_speedup is not None:
+        if best is None:
+            problems.append(
+                "no cell produced measurable throughput on both "
+                f"backends (--expect-speedup {args.expect_speedup:g} "
+                "unenforceable)"
+            )
+        elif best[0] < args.expect_speedup:
+            problems.append(
+                f"best compiled/interp speedup {best[0]:.2f}x "
+                f"({'/'.join(best[3])}) is below the "
+                f"{args.expect_speedup:g}x floor"
+            )
+
+    payload = {
+        "cells": total,
+        "size": args.size,
+        "machines": machines,
+        "programs": programs,
+        "variants": variants,
+        "divergences": problems,
+        "ok": not problems,
+        "best_speedup": round(best[0], 2) if best else None,
+        "speedups": [
+            {
+                "program": key[0],
+                "machine": key[1],
+                "variant": key[2],
+                "speedup": round(ratio, 2),
+                "compiled_instrs_per_sec": round(rate, 1),
+                "interp_instrs_per_sec": round(base, 1),
+            }
+            for ratio, rate, base, key in speedups
+        ],
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        _emit_json(payload)
+        return 1 if problems else 0
+
+    for ratio, rate, base, key in speedups[:10]:
+        print(
+            f"  {'/'.join(key):<42} {base / 1e6:6.2f}M -> "
+            f"{rate / 1e6:6.2f}M instrs/sec  ({ratio:.2f}x)"
+        )
+    if problems:
+        print(f"simdiff: FAIL ({len(problems)} problem(s))")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        f"simdiff: PASS — {total} cells bit-identical on both backends"
+        + (f", best speedup {best[0]:.2f}x" if best else "")
+    )
+    return 0
 
 
 def cmd_replay(args) -> int:
@@ -729,6 +915,8 @@ def cmd_submit(args) -> int:
         fields["deadline"] = args.deadline
     if args.inject:
         fields["faults"] = args.inject
+    if args.sim_backend is not None:
+        fields["sim_backend"] = args.sim_backend
     try:
         if args.bench:
             response = client.bench(
@@ -894,6 +1082,7 @@ def main(argv=None) -> int:
         help="simulator watchdog: abort with SimulationTimeout after N "
              "executed instructions (default: $REPRO_MAX_STEPS or 200M)",
     )
+    _add_sim_backend(p_run)
     _add_common(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -989,7 +1178,55 @@ def main(argv=None) -> int:
         help="per-cell wall-clock budget in seconds before a cell is "
              "marked failed (default: $BENCH_CELL_TIMEOUT or 600)",
     )
+    _add_sim_backend(p_bench)
+    p_bench.add_argument(
+        "--min-sim-rate", type=float, default=None, metavar="INSTRS_PER_SEC",
+        help="fail unless the fastest compiled-backend cell simulates at "
+             "least this many instructions per second",
+    )
+    p_bench.add_argument(
+        "--allow-backend-mismatch", action="store_true",
+        help="compare against a baseline measured with a different "
+             "simulator backend instead of failing",
+    )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_simdiff = sub.add_parser(
+        "simdiff",
+        help="differential gate: run the matrix on both simulator "
+             "backends and fail on any observable divergence",
+    )
+    p_simdiff.add_argument(
+        "--programs", default=None,
+        help="comma-separated benchmark names (default: all)",
+    )
+    p_simdiff.add_argument(
+        "--machines", default=None,
+        help="comma-separated machine names (default: all three)",
+    )
+    p_simdiff.add_argument(
+        "--variants", default=None,
+        help="comma-separated column names (default: all four)",
+    )
+    p_simdiff.add_argument(
+        "--size", type=int, default=32,
+        help="image width=height for every cell (default 32)",
+    )
+    p_simdiff.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: $BENCH_JOBS or 1)",
+    )
+    p_simdiff.add_argument(
+        "--expect-speedup", type=float, default=None, metavar="FACTOR",
+        help="additionally fail unless the best per-cell compiled/interp "
+             "throughput ratio reaches FACTOR",
+    )
+    p_simdiff.add_argument(
+        "--out", default=None, metavar="FILE.json",
+        help="also write the machine-readable summary to FILE.json",
+    )
+    p_simdiff.add_argument("--json", action="store_true")
+    p_simdiff.set_defaults(func=cmd_simdiff)
 
     p_replay = sub.add_parser(
         "replay", help="re-run a crash bundle's compilation"
@@ -1112,6 +1349,7 @@ def main(argv=None) -> int:
         help="simulate: stage an array, e.g. a:2:1,2,3,4 (repeatable)",
     )
     p_submit.add_argument("--max-steps", type=int, default=None)
+    _add_sim_backend(p_submit)
     p_submit.add_argument(
         "--bench", default=None, metavar="PROGRAM",
         help="run a benchmark program instead of compiling a file",

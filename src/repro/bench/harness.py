@@ -27,7 +27,7 @@ from repro.bench.programs import get_benchmark
 from repro.bench import workloads
 from repro.bench.cache import cached_compile_minic
 from repro.pipeline import CompiledProgram
-from repro.sim import Simulator
+from repro.sim import Simulator, instructions_per_second
 
 COLUMN_CONFIGS: Dict[str, Tuple[str, Dict[str, object]]] = {
     "cc": ("cc", {}),
@@ -71,6 +71,11 @@ class BenchResult:
     compile_seconds: float = 0.0
     sim_seconds: float = 0.0
     compile_cache_hit: bool = False
+    # Which simulator backend actually ran (after any fallback) and its
+    # throughput in simulated instructions per host second (None when the
+    # run was too short to time).
+    sim_backend: str = "interp"
+    sim_instrs_per_sec: Optional[float] = None
     # stage name -> seconds, from CompiledProgram.pass_stats (describes
     # the original compilation when compile_cache_hit is True)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -108,14 +113,21 @@ def run_benchmark(
     width: int = 64,
     height: int = 64,
     check: bool = True,
+    sim_backend: Optional[str] = None,
     **extra,
 ) -> BenchResult:
-    """Compile, stage inputs, simulate, verify and measure one benchmark."""
+    """Compile, stage inputs, simulate, verify and measure one benchmark.
+
+    ``sim_backend`` picks the simulator backend (``interp`` or
+    ``compiled``); None defers to ``REPRO_SIM_BACKEND``.  The result
+    records the backend that actually ran — the compiled backend falls
+    back to the interpreter under fault injection.
+    """
     compile_started = time.perf_counter()
     compiled = compile_benchmark(name, machine, column, **extra)
     compile_seconds = time.perf_counter() - compile_started
     sim_started = time.perf_counter()
-    sim = compiled.simulator()
+    sim = compiled.simulator(backend=sim_backend)
     result, ok = _stage_and_run(name, sim, width, height, check)
     sim_seconds = time.perf_counter() - sim_started
     report = sim.report()
@@ -140,6 +152,10 @@ def run_benchmark(
         compile_seconds=compile_seconds,
         sim_seconds=sim_seconds,
         compile_cache_hit=compiled.cache_hit,
+        sim_backend=sim.backend,
+        sim_instrs_per_sec=instructions_per_second(
+            report.instr_count, sim.wall_seconds
+        ),
         phase_seconds={
             stage: stats["seconds"]
             for stage, stats in compiled.pass_stats.items()

@@ -38,8 +38,39 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import COLUMNS, run_benchmark
 from repro.bench.programs import BENCHMARKS, TABLE_ORDER
+from repro.sim import default_sim_backend
 
 RUN_SCHEMA = 1
+
+#: Record fields that describe the *host measurement*, not the simulated
+#: program: they differ run-to-run and backend-to-backend by design and
+#: are never part of any regression or differential comparison.
+HOST_METRIC_FIELDS = (
+    "wall_seconds",
+    "compile_seconds",
+    "sim_seconds",
+    "sim_instrs_per_sec",
+    "sim_backend",
+    "compile_cache_hit",
+    "phase_seconds",
+)
+
+#: Record fields the interp and compiled backends must agree on exactly
+#: (the parity contract): everything the simulated machine observed.
+DIFF_FIELDS = (
+    "result",
+    "output_ok",
+    "cycles",
+    "base_cycles",
+    "dcache_miss_cycles",
+    "icache_miss_cycles",
+    "dcache_misses",
+    "icache_misses",
+    "instr_count",
+    "loads",
+    "stores",
+    "memory_accesses",
+)
 
 #: Default regression tolerance, percent of baseline cycles.  Simulated
 #: cycles are deterministic, so this only needs to absorb intentional
@@ -116,6 +147,7 @@ class BenchSpec:
     variant: str
     width: int
     height: int
+    sim_backend: str = "interp"
 
 
 def build_matrix(
@@ -124,10 +156,11 @@ def build_matrix(
     variants: Sequence[str],
     width: int,
     height: int,
+    sim_backend: str = "interp",
 ) -> List[BenchSpec]:
     """Every (program, machine, variant) cell, in deterministic order."""
     return sorted(
-        BenchSpec(p, m, v, width, height)
+        BenchSpec(p, m, v, width, height, sim_backend)
         for p in programs for m in machines for v in variants
     )
 
@@ -138,6 +171,7 @@ def _run_spec(spec: BenchSpec) -> Dict[str, object]:
     result = run_benchmark(
         spec.program, spec.machine, spec.variant,
         width=spec.width, height=spec.height,
+        sim_backend=spec.sim_backend,
     )
     wall = time.perf_counter() - started
     return {
@@ -146,6 +180,7 @@ def _run_spec(spec: BenchSpec) -> Dict[str, object]:
         "variant": spec.variant,
         "width": spec.width,
         "height": spec.height,
+        "result": result.result,
         "cycles": result.cycles,
         "base_cycles": result.base_cycles,
         "dcache_miss_cycles": result.dcache_miss_cycles,
@@ -163,6 +198,11 @@ def _run_spec(spec: BenchSpec) -> Dict[str, object]:
         "compile_seconds": round(result.compile_seconds, 6),
         "sim_seconds": round(result.sim_seconds, 6),
         "compile_cache_hit": result.compile_cache_hit,
+        "sim_backend": result.sim_backend,
+        "sim_instrs_per_sec": (
+            round(result.sim_instrs_per_sec, 1)
+            if result.sim_instrs_per_sec is not None else None
+        ),
         "status": "ok",
         "error": "",
         "phase_seconds": {
@@ -180,6 +220,7 @@ def _failed_record(spec: BenchSpec, error: str) -> Dict[str, object]:
         "variant": spec.variant,
         "width": spec.width,
         "height": spec.height,
+        "result": None,
         "cycles": 0,
         "base_cycles": 0,
         "dcache_miss_cycles": 0,
@@ -197,6 +238,8 @@ def _failed_record(spec: BenchSpec, error: str) -> Dict[str, object]:
         "compile_seconds": 0.0,
         "sim_seconds": 0.0,
         "compile_cache_hit": False,
+        "sim_backend": spec.sim_backend,
+        "sim_instrs_per_sec": None,
         "status": "failed",
         "error": error,
         "phase_seconds": {},
@@ -239,6 +282,7 @@ def run_matrix(
     jobs: Optional[int] = None,
     progress=None,
     cell_timeout: Optional[float] = None,
+    sim_backend: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Measure the whole matrix; returns records sorted deterministically.
 
@@ -258,6 +302,7 @@ def run_matrix(
         variants or COLUMNS,
         width,
         height if height is not None else width,
+        sim_backend if sim_backend is not None else default_sim_backend(),
     )
     jobs = jobs if jobs is not None else default_jobs()
     if cell_timeout is None:
@@ -318,7 +363,16 @@ def make_run_document(
     jobs: int = 1,
     width: int = FULL_SIZE,
     height: Optional[int] = None,
+    sim_backend: Optional[str] = None,
 ) -> Dict[str, object]:
+    if sim_backend is None:
+        # Derive from the records themselves so the document can never
+        # disagree with its measurements; mixed backends (a fallback hit
+        # some cells) are recorded as 'mixed' and always flagged later.
+        backends = sorted({
+            str(r.get("sim_backend", "interp")) for r in records
+        }) or ["interp"]
+        sim_backend = backends[0] if len(backends) == 1 else "mixed"
     return {
         "schema": RUN_SCHEMA,
         "tag": tag,
@@ -327,6 +381,7 @@ def make_run_document(
         "width": width,
         "height": height if height is not None else width,
         "jobs": jobs,
+        "sim_backend": sim_backend,
         "records": records,
     }
 
@@ -380,7 +435,10 @@ def compare_runs(
     A record whose cycles exceed the baseline by more than ``tolerance``
     percent is a regression; one absent from the baseline is 'missing'
     (the baseline needs regenerating) — both fail the gate, as does a
-    cell whose measurement itself failed (``status='failed'``).
+    cell whose measurement itself failed (``status='failed'``).  Only
+    simulated *cycles* are toleranced: host-side measurement fields
+    (:data:`HOST_METRIC_FIELDS` — wall clocks, rates, backend tags)
+    never participate.
     Baseline records with no current counterpart are ignored: the gate
     may legitimately measure a subset (e.g. ``--quick``).
     """
@@ -432,6 +490,120 @@ def compare_runs(
 
 def gate_passed(rows: Iterable[ComparisonRow]) -> bool:
     return all(row.status in ("ok", "improved") for row in rows)
+
+
+def backend_mismatch(
+    records: List[Dict[str, object]],
+    baseline: Dict[str, object],
+) -> Optional[str]:
+    """A message when current records and baseline used different
+    simulator backends, else None.
+
+    Cycle counts are backend-independent by the parity contract, but a
+    silent mismatch hides exactly the bugs the differential gate exists
+    to catch — so ``--compare`` refuses unless explicitly overridden
+    (``--allow-backend-mismatch``).  Baselines predating the
+    ``sim_backend`` field count as ``interp`` measurements.
+    """
+    base_backend = str(baseline.get("sim_backend", "interp"))
+    current = sorted({
+        str(r.get("sim_backend", "interp"))
+        for r in records
+        if r.get("status", "ok") == "ok"
+    })
+    mismatched = [b for b in current if b != base_backend]
+    if not mismatched:
+        return None
+    return (
+        f"baseline {baseline.get('tag', '?')!r} was measured with the "
+        f"{base_backend!r} simulator backend but the current run used "
+        f"{', '.join(repr(b) for b in current)}; regenerate the baseline "
+        "or pass --allow-backend-mismatch to compare anyway"
+    )
+
+
+def check_sim_rate(
+    records: List[Dict[str, object]], floor: float
+) -> List[str]:
+    """Enforce a minimum simulated-instructions/sec over a run.
+
+    The gate passes when the *fastest* measurable cell reaches ``floor``
+    — the floor asserts the backend's throughput capability, and small
+    cells are dominated by staging, not execution.  Only cells that
+    actually ran on the compiled backend count: a fleet-wide fallback to
+    the interpreter must fail the gate, not dodge it.  Returns one
+    message per violation; empty means the gate holds.
+    """
+    problems: List[str] = []
+    rates = [
+        (r["sim_instrs_per_sec"], r)
+        for r in records
+        if r.get("status", "ok") == "ok"
+        and r.get("sim_backend") == "compiled"
+        and r.get("sim_instrs_per_sec") is not None
+    ]
+    if not rates:
+        problems.append(
+            "no successful compiled-backend cells with a measurable "
+            f"simulation rate (floor {floor:g} instrs/sec unenforceable)"
+        )
+        return problems
+    best_rate, best = max(rates, key=lambda item: item[0])
+    if best_rate < floor:
+        problems.append(
+            f"peak simulation rate {best_rate:,.0f} instrs/sec "
+            f"({best['program']}/{best['machine']}/{best['variant']}) is "
+            f"below the {floor:,.0f} instrs/sec floor"
+        )
+    return problems
+
+
+def compare_backends(
+    a_records: List[Dict[str, object]],
+    b_records: List[Dict[str, object]],
+) -> List[str]:
+    """Differential interp-vs-compiled check over two record sets.
+
+    Returns one message per divergence in any :data:`DIFF_FIELDS` value
+    (outputs, cycles, loads/stores, cache misses) between records of the
+    same (program, machine, variant, size) cell, plus one per cell that
+    exists on only one side or failed on either.  Empty means the
+    backends are observationally identical on this matrix.
+    """
+
+    def key(r: Dict[str, object]) -> Tuple:
+        return (
+            r["program"], r["machine"], r["variant"],
+            r.get("width"), r.get("height"),
+        )
+
+    def name(k: Tuple) -> str:
+        return f"{k[0]}/{k[1]}/{k[2]}@{k[3]}x{k[4]}"
+
+    a_by, b_by = {key(r): r for r in a_records}, {key(r): r for r in b_records}
+    problems: List[str] = []
+    for k in sorted(set(a_by) | set(b_by), key=str):
+        a, b = a_by.get(k), b_by.get(k)
+        if a is None or b is None:
+            side = "first" if a is None else "second"
+            problems.append(f"{name(k)}: missing from the {side} run")
+            continue
+        failed = [
+            f"{r.get('sim_backend', '?')}: {r.get('error') or 'failed'}"
+            for r in (a, b)
+            if r.get("status", "ok") != "ok"
+        ]
+        if failed:
+            problems.append(f"{name(k)}: " + "; ".join(failed))
+            continue
+        for field_name in DIFF_FIELDS:
+            if a.get(field_name) != b.get(field_name):
+                problems.append(
+                    f"{name(k)}: {field_name} diverged — "
+                    f"{a.get('sim_backend', '?')}={a.get(field_name)!r} "
+                    f"vs {b.get('sim_backend', '?')}={b.get(field_name)!r}"
+                )
+    return problems
 
 
 def format_compare_table(

@@ -357,10 +357,15 @@ def compile_and_run(
     args: List[int],
     machine: Union[str, MachineDescription] = "alpha",
     config: Union[str, PipelineConfig, None] = None,
+    sim_backend: Optional[str] = None,
     **overrides,
 ):
-    """One-call convenience: compile, simulate, return (result, report)."""
+    """One-call convenience: compile, simulate, return (result, report).
+
+    ``sim_backend`` picks the simulator backend (``interp`` or
+    ``compiled``); None defers to ``REPRO_SIM_BACKEND``.
+    """
     program = compile_minic(source, machine, config, **overrides)
-    sim = program.simulator()
+    sim = program.simulator(backend=sim_backend)
     result = sim.call(entry, *args)
     return result, sim.report()

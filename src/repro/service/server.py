@@ -531,21 +531,27 @@ class CompileServer:
         sim_kwargs = {}
         if request.get("max_steps") is not None:
             sim_kwargs["max_steps"] = int(request["max_steps"])
-        hooks = []
+        if request.get("sim_backend") is not None:
+            from repro.sim import SIM_BACKENDS
+
+            backend = str(request["sim_backend"])
+            if backend not in SIM_BACKENDS:
+                raise ReproError(
+                    f"unknown sim_backend {backend!r}; known: "
+                    f"{', '.join(SIM_BACKENDS)}"
+                )
+            sim_kwargs["backend"] = backend
         info = getattr(self._tls, "deadline", None)
         if info is not None:
-            hooks.append(lambda func, label: self._cancel())
+            # First-class cancellation: both engines poll cancel= per
+            # block, so a deadline does not force the compiled backend
+            # down the interpreter fallback the way a fault_hook would.
+            sim_kwargs["cancel"] = self._cancel
         plan = FaultPlan.parse(request.get("faults"))
         if plan is None:
             plan = self.faults
         if plan is not None:
-            hooks.append(plan.sim_hook())
-        if hooks:
-            def fault_hook(func, label, _hooks=tuple(hooks)):
-                for hook in _hooks:
-                    hook(func, label)
-
-            sim_kwargs["fault_hook"] = fault_hook
+            sim_kwargs["fault_hook"] = plan.sim_hook()
 
         sim = program.simulator(**sim_kwargs)
         addresses: Dict[str, int] = {}
@@ -575,6 +581,7 @@ class CompileServer:
             cycles=report.total_cycles,
             instr_count=report.instr_count,
             memory_accesses=report.memory_accesses,
+            sim_backend=sim.backend,
         )
         dump = request.get("dump")
         if dump:
@@ -606,6 +613,7 @@ class CompileServer:
             variant,
             width=size,
             height=size,
+            sim_backend=request.get("sim_backend"),
         )
         return {
             "_degraded": False,
@@ -618,6 +626,7 @@ class CompileServer:
             "output_ok": result.output_ok,
             "coalesced_loops": result.coalesced_loops,
             "cache_hit": result.compile_cache_hit,
+            "sim_backend": result.sim_backend,
         }
 
     # -- status -------------------------------------------------------------

@@ -2,24 +2,38 @@
 
 The paper measured wall-clock time on real DEC Alpha, Motorola 88100 and
 Motorola 68030 machines.  We have none of those, so this package provides
-the substitute: RTL programs run in a byte-accurate interpreter (or the
-faster RTL-to-Python translator) that counts block executions and memory
-traffic, and a trace-driven cost model converts those counts into cycles
-using each machine's latencies, issue width and caches.
+the substitute: RTL programs run in a byte-accurate interpreter — or one
+of two translating engines, including the block-compiling ``compiled``
+backend — that counts block executions and memory traffic, and a
+trace-driven cost model converts those counts into cycles using each
+machine's latencies, issue width and caches.
 """
 
 from repro.sim.memory import SimMemory
-from repro.sim.cache import DirectMappedCache
-from repro.sim.interp import Interpreter, RunStats
-from repro.sim.costs import CycleReport, cycle_report
-from repro.sim.runner import Simulator
+from repro.sim.cache import BlockCache, DirectMappedCache, shared_block_cache
+from repro.sim.interp import Interpreter, RunStats, layout_code
+from repro.sim.costs import CycleReport, cycle_report, instructions_per_second
+from repro.sim.runner import (
+    SIM_BACKENDS,
+    Simulator,
+    default_sim_backend,
+)
+from repro.sim.translate import CompiledEngine, TranslatedEngine
 
 __all__ = [
+    "BlockCache",
+    "CompiledEngine",
     "CycleReport",
     "DirectMappedCache",
     "Interpreter",
     "RunStats",
+    "SIM_BACKENDS",
     "SimMemory",
     "Simulator",
+    "TranslatedEngine",
     "cycle_report",
+    "default_sim_backend",
+    "instructions_per_second",
+    "layout_code",
+    "shared_block_cache",
 ]

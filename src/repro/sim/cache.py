@@ -1,19 +1,32 @@
-"""Direct-mapped cache model.
+"""Simulator caches: the direct-mapped hardware model and the block cache.
 
-Kept intentionally simple — the paper's effect is dominated by instruction
-counts and latencies, and the caches only need to capture two second-order
-phenomena the paper discusses:
+Two unrelated kinds of cache live here:
 
-* spatial locality: four narrow loads to one line cost one miss whether or
-  not they are coalesced, so the coalescing win must come from the saved
-  *instructions*, not from invented miss savings;
-* the unrolling heuristic: a loop body that outgrows the I-cache starts
-  missing every iteration.
+* :class:`DirectMappedCache` models the simulated machine's I/D caches.
+  Kept intentionally simple — the paper's effect is dominated by
+  instruction counts and latencies, and the caches only need to capture
+  two second-order phenomena the paper discusses: spatial locality (four
+  narrow loads to one line cost one miss whether or not they are
+  coalesced, so the coalescing win must come from the saved
+  *instructions*) and the unrolling heuristic (a loop body that outgrows
+  the I-cache starts missing every iteration).
+
+* :class:`BlockCache` is a host-side translation cache for the
+  block-compiling simulator backend (:mod:`repro.sim.translate`): it
+  maps a basic block's *fingerprint* — a digest of the specialized
+  Python source the translator emits for it, which captures the machine
+  word model, endianness, the exact instruction sequence and the
+  accounting configuration — to the compiled code object, so a block is
+  lowered to CPython bytecode at most once per process no matter how
+  many engines, benchmark cells or repeated compiles execute it.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
 
 from repro.machine.machine import CacheGeometry
 
@@ -60,3 +73,152 @@ class DirectMappedCache:
             f"<DirectMappedCache {self.geometry.size_bytes}B "
             f"hits={self.hits} misses={self.misses}>"
         )
+
+
+class CellCountedCache(DirectMappedCache):
+    """A :class:`DirectMappedCache` whose counters live in mutable cells.
+
+    The block-compiling backend inlines tag probes straight into the
+    generated code: the emitted statements mutate :attr:`tags` and bump
+    ``hit_cell``/``miss_cell`` in place, with no method call per probe.
+    Counter reads (``.hits``/``.misses``) and the inherited
+    :meth:`access` keep working through the properties, so the object
+    stays interchangeable with the plain cache everywhere else.
+    """
+
+    def __init__(self, geometry: CacheGeometry):
+        self.hit_cell = [0]
+        self.miss_cell = [0]
+        # When set (a zero-arg callable returning the total probe count),
+        # hits are *derived* as probes - misses instead of counted: every
+        # probe either hits or misses, and the probe total is statically
+        # reconstructable from block execution counts, so the generated
+        # code only ever touches the miss counter.  Probes must then all
+        # come from generated code — do not mix in access() calls.
+        self.derive_hits = None
+        super().__init__(geometry)
+
+    @property
+    def hits(self) -> int:
+        if self.derive_hits is not None:
+            return self.derive_hits() - self.misses
+        return self.hit_cell[0]
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self.hit_cell[0] = value
+
+    @property
+    def misses(self) -> int:
+        return self.miss_cell[0]
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self.miss_cell[0] = value
+
+    def flush(self) -> None:
+        # In place: generated code holds a direct reference to the list.
+        self.tags[:] = [None] * self.lines
+
+
+class BlockCache:
+    """LRU cache of compiled block code objects, keyed by fingerprint.
+
+    The fingerprint is a content hash of the generated block source, so
+    two blocks share an entry exactly when their specialized closures
+    would be byte-identical: same machine word model and endianness,
+    same instruction sequence, same number of I-cache line probes, same
+    accounting configuration (caches on/off, cancel probe present).
+    Everything that varies between instantiations — counter cells,
+    I-cache line addresses, global addresses, successor closures — is
+    bound through the closure's namespace, never baked into the code.
+
+    Thread-safe: the compile service translates from worker threads.
+    ``invalidations`` counts entries dropped for any reason (explicit
+    :meth:`invalidate`, capacity eviction, :meth:`clear`).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("block cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def fingerprint(source: str) -> str:
+        """Content hash of one block's generated Python source."""
+        return hashlib.sha256(source.encode()).hexdigest()
+
+    def get(self, fingerprint: str) -> Optional[object]:
+        with self._lock:
+            code = self._entries.get(fingerprint)
+            if code is not None:
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return code
+
+    def put(self, fingerprint: str, code: object) -> None:
+        with self._lock:
+            self._entries[fingerprint] = code
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.invalidations += 1
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one entry; returns whether it was present."""
+        with self._lock:
+            present = self._entries.pop(fingerprint, None) is not None
+            if present:
+                self.invalidations += 1
+            return present
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were invalidated."""
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self.invalidations += count
+            return count
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"<BlockCache {len(self)}/{self.capacity} hits={self.hits} "
+            f"misses={self.misses} invalidations={self.invalidations}>"
+        )
+
+
+#: Process-wide cache shared by every CompiledEngine that is not handed
+#: an explicit one; repeated Simulator constructions over the same
+#: program (the bench matrix, the compile service) translate each block
+#: once.
+_SHARED_BLOCK_CACHE = BlockCache()
+
+
+def shared_block_cache() -> BlockCache:
+    """The process-wide default :class:`BlockCache`."""
+    return _SHARED_BLOCK_CACHE

@@ -41,6 +41,29 @@ from repro.sim.memory import SimMemory
 CODE_BASE = 0x10000
 
 
+def layout_code(
+    module: Module, machine: MachineDescription
+) -> Dict[Tuple[str, str], List[int]]:
+    """Assign code addresses; returns the I-cache line list per block.
+
+    Shared by every engine so instruction-cache behaviour is identical
+    by construction: same module, same machine, same line footprint.
+    """
+    lines: Dict[Tuple[str, str], List[int]] = {}
+    addr = CODE_BASE
+    line_bytes = machine.icache.line_bytes
+    for func in module:
+        for block in func.blocks:
+            size = machine.block_footprint(len(block.instrs))
+            first = addr // line_bytes
+            last = (addr + max(size, 1) - 1) // line_bytes
+            lines[(func.name, block.label)] = [
+                n * line_bytes for n in range(first, last + 1)
+            ]
+            addr += size
+    return lines
+
+
 class RunStats:
     """Dynamic counts collected over one or more calls."""
 
@@ -110,12 +133,18 @@ class Interpreter:
         max_steps: int = 200_000_000,
         fault_hook=None,
         trace_hook=None,
+        cancel=None,
     ):
         self.module = module
         self.machine = machine
         # Optional chaos hook called as hook(func_name, block_label) at
         # every block entry; FaultPlan.sim_hook() uses it to plant stalls.
         self.fault_hook = fault_hook
+        # Optional zero-argument cancellation probe, also called at every
+        # block entry (before the fault hook); the compile service
+        # installs its per-request deadline check here, raising
+        # DeadlineExceeded to abort a stuck simulation.
+        self.cancel = cancel
         # Optional memory-trace hook called as
         # hook(func_name, instr, addr, frame_slots, global_addrs) at every
         # Load/Store; the alias-consistency checker cross-checks the
@@ -157,19 +186,7 @@ class Interpreter:
 
     def _layout_code(self) -> Dict[Tuple[str, str], List[int]]:
         """Assign code addresses; returns I-cache line list per block."""
-        lines: Dict[Tuple[str, str], List[int]] = {}
-        addr = CODE_BASE
-        line_bytes = self.machine.icache.line_bytes
-        for func in self.module:
-            for block in func.blocks:
-                size = self.machine.block_footprint(len(block.instrs))
-                first = addr // line_bytes
-                last = (addr + max(size, 1) - 1) // line_bytes
-                lines[(func.name, block.label)] = [
-                    n * line_bytes for n in range(first, last + 1)
-                ]
-                addr += size
-        return lines
+        return layout_code(self.module, self.machine)
 
     # -- value helpers -------------------------------------------------------
     def _signed(self, value: int) -> int:
@@ -213,6 +230,8 @@ class Interpreter:
                 if self.icache is not None:
                     for line in self._block_lines[key]:
                         self.icache.access(line)
+                if self.cancel is not None:
+                    self.cancel()
                 if self.fault_hook is not None:
                     self.fault_hook(func.name, block.label)
                 self._steps += len(block.instrs)

@@ -24,6 +24,12 @@ from repro.sim.interp import Interpreter
 from repro.sim.memory import SimMemory
 
 
+#: Backends selectable via ``--sim-backend`` / ``REPRO_SIM_BACKEND``.
+#: ("translate", the per-function engine, stays reachable through the
+#: ``engine=`` parameter but is not part of the public backend matrix.)
+SIM_BACKENDS = ("interp", "compiled")
+
+
 def default_max_steps() -> int:
     """The watchdog step budget: ``REPRO_MAX_STEPS`` or 200M."""
     raw = os.environ.get("REPRO_MAX_STEPS", "").strip()
@@ -37,8 +43,38 @@ def default_max_steps() -> int:
     return 200_000_000
 
 
+def default_sim_backend() -> str:
+    """The simulator backend: ``REPRO_SIM_BACKEND`` or ``interp``."""
+    raw = os.environ.get("REPRO_SIM_BACKEND", "").strip().lower()
+    if not raw:
+        return "interp"
+    if raw not in SIM_BACKENDS:
+        raise SimulationError(
+            f"bad REPRO_SIM_BACKEND value {raw!r} "
+            f"(want {'|'.join(SIM_BACKENDS)})"
+        )
+    return raw
+
+
 class Simulator:
-    """One module loaded on one machine, ready to run."""
+    """One module loaded on one machine, ready to run.
+
+    ``backend`` picks the execution engine: ``interp`` (the reference
+    interpreter) or ``compiled`` (the block-compiling direct-threaded
+    engine, bit-identical on all accounted quantities).  ``engine`` is
+    the older spelling of the same knob and additionally accepts
+    ``translate``; giving both and disagreeing is an error.  When
+    neither is given the ``REPRO_SIM_BACKEND`` environment default
+    applies.
+
+    The compiled backend silently degrades to the interpreter whenever
+    observation hooks are installed (``fault_hook``/``trace_hook``) or
+    fault injection is active via ``REPRO_FAULTS`` — mirroring how
+    alias-check elision auto-disables under chaos.  The decision is
+    recorded in ``backend_requested`` / ``backend`` /
+    ``fallback_reason``.  The ``translate`` engine keeps its historical
+    strict behavior and raises instead.
+    """
 
     def __init__(
         self,
@@ -46,9 +82,12 @@ class Simulator:
         machine: MachineDescription,
         simulate_caches: bool = True,
         max_steps: Optional[int] = None,
-        engine: str = "interp",
+        engine: Optional[str] = None,
         fault_hook=None,
         trace_hook=None,
+        backend: Optional[str] = None,
+        cancel=None,
+        block_cache=None,
     ):
         self.module = module
         self.machine = machine
@@ -56,7 +95,31 @@ class Simulator:
         if max_steps is None:
             max_steps = default_max_steps()
         self.max_steps = max_steps
-        if engine == "interp":
+        if engine is not None and backend is not None and engine != backend:
+            raise SimulationError(
+                f"conflicting engine selection: engine={engine!r} "
+                f"backend={backend!r}"
+            )
+        requested = backend or engine or default_sim_backend()
+        self.backend_requested = requested
+        self.fallback_reason: Optional[str] = None
+        resolved = requested
+        if requested == "compiled":
+            reason = None
+            if fault_hook is not None:
+                reason = "fault_hook installed"
+            elif trace_hook is not None:
+                reason = "trace_hook installed"
+            else:
+                from repro.resilience.faults import FaultPlan
+
+                if FaultPlan.from_env():
+                    reason = "fault injection active (REPRO_FAULTS)"
+            if reason is not None:
+                resolved = "interp"
+                self.fallback_reason = reason
+        self.backend = resolved
+        if resolved == "interp":
             self.engine = Interpreter(
                 module,
                 machine,
@@ -65,8 +128,9 @@ class Simulator:
                 max_steps=max_steps,
                 fault_hook=fault_hook,
                 trace_hook=trace_hook,
+                cancel=cancel,
             )
-        elif engine == "translate":
+        elif resolved == "translate":
             if fault_hook is not None:
                 raise SimulationError(
                     "fault_hook requires the 'interp' engine"
@@ -74,6 +138,10 @@ class Simulator:
             if trace_hook is not None:
                 raise SimulationError(
                     "trace_hook requires the 'interp' engine"
+                )
+            if cancel is not None:
+                raise SimulationError(
+                    "cancel= requires the 'interp' or 'compiled' engine"
                 )
             from repro.sim.translate import TranslatedEngine
 
@@ -84,8 +152,20 @@ class Simulator:
                 simulate_caches=simulate_caches,
                 max_steps=max_steps,
             )
+        elif resolved == "compiled":
+            from repro.sim.translate import CompiledEngine
+
+            self.engine = CompiledEngine(
+                module,
+                machine,
+                memory=self.memory,
+                simulate_caches=simulate_caches,
+                max_steps=max_steps,
+                cancel=cancel,
+                block_cache=block_cache,
+            )
         else:
-            raise SimulationError(f"unknown engine {engine!r}")
+            raise SimulationError(f"unknown engine {resolved!r}")
         self._arrays: Dict[str, int] = {}
         self._stagger_counter = 0
         # Host wall-clock spent inside call(), accumulated across calls;

@@ -240,15 +240,12 @@ class TestRunMatrix:
         parallel = runner.run_matrix(jobs=2, **self.MATRIX)
 
         def comparable(records):
-            # everything except host wall-clock timings
+            # everything except host measurement fields (wall clocks,
+            # rates): those differ run-to-run by design
             return [
                 {
                     k: v for k, v in record.items()
-                    if k not in (
-                        "wall_seconds", "compile_seconds",
-                        "sim_seconds", "compile_cache_hit",
-                        "phase_seconds",
-                    )
+                    if k not in runner.HOST_METRIC_FIELDS
                 }
                 for record in records
             ]

@@ -1,0 +1,457 @@
+"""The block-compiling ``compiled`` simulator backend.
+
+Four concerns, mirroring the ISSUE's parity contract:
+
+* the fingerprint-keyed :class:`BlockCache` (hits, invalidations, LRU
+  eviction, cross-engine reuse);
+* the runner's fallback policy — hooks and ``REPRO_FAULTS`` silently
+  route a ``compiled`` request to the interpreter, recorded in
+  ``backend_requested``/``backend``/``fallback_reason``;
+* watchdog and ``cancel=`` deadline parity: identical
+  :class:`SimulationTimeout` attributes and identical probe cadence on
+  both backends;
+* the differential contract itself, over the sanitize fixture matrix
+  (including misaligned, larger-trip variants) and over real benchmark
+  cells on all three machines, plus the bench-runner helpers
+  (``compare_backends``/``check_sim_rate``/``backend_mismatch``) that
+  gate it in CI.
+"""
+
+import pytest
+
+from repro.bench import runner as bench_runner
+from repro.bench.harness import run_benchmark
+from repro.bench.programs import get_benchmark
+from repro.errors import DeadlineExceeded, SimulationError, SimulationTimeout
+from repro.ir import parse_module
+from repro.machine import get_machine
+from repro.pipeline import compile_minic
+from repro.sanitize.differential import BUFFER_BYTES, make_fixtures
+from repro.sim import Simulator, default_sim_backend
+from repro.sim.cache import BlockCache
+from repro.sim.interp import Interpreter
+from repro.sim.translate import CompiledEngine
+
+LOOP_TEXT = (
+    "func spin(r0) {\nentry:\n    r1 = 0\n    jump loop\n"
+    "loop:\n    r1 = add r1, 1\n    br lt r1, r0, loop, done\n"
+    "done:\n    ret r1\n}"
+)
+
+FIB_TEXT = (
+    "func fib(r0) {\nentry:\n    br lt r0, 2, base, rec\n"
+    "base:\n    ret r0\n"
+    "rec:\n    r1 = sub r0, 1\n    r2 = call fib(r1)\n"
+    "    r3 = sub r0, 2\n    r4 = call fib(r3)\n"
+    "    r5 = add r2, r4\n    ret r5\n}"
+)
+
+
+def _compiled_engine(text, machine_name="alpha", **kwargs):
+    return CompiledEngine(
+        parse_module(text), get_machine(machine_name), **kwargs
+    )
+
+
+class TestBlockCache:
+    def test_fingerprint_is_content_hash(self):
+        a = BlockCache.fingerprint("x = 1\n")
+        assert a == BlockCache.fingerprint("x = 1\n")
+        assert a != BlockCache.fingerprint("x = 2\n")
+        assert len(a) == 64
+
+    def test_hit_and_miss_counters(self):
+        cache = BlockCache()
+        fp = BlockCache.fingerprint("x = 1\n")
+        assert cache.get(fp) is None
+        code = compile("x = 1\n", "<blk>", "exec")
+        cache.put(fp, code)
+        assert cache.get(fp) is code
+        assert fp in cache and len(cache) == 1
+        assert cache.stats() == {
+            "entries": 1, "capacity": cache.capacity,
+            "hits": 1, "misses": 1, "invalidations": 0,
+        }
+
+    def test_invalidate_and_clear(self):
+        cache = BlockCache()
+        fp = BlockCache.fingerprint("y = 2\n")
+        cache.put(fp, object())
+        assert cache.invalidate(fp) is True
+        assert cache.invalidate(fp) is False
+        assert cache.get(fp) is None
+        cache.put(fp, object())
+        cache.put(BlockCache.fingerprint("z = 3\n"), object())
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.invalidations == 3
+
+    def test_lru_eviction(self):
+        cache = BlockCache(capacity=2)
+        fps = [BlockCache.fingerprint(f"v = {i}\n") for i in range(3)]
+        cache.put(fps[0], "a")
+        cache.put(fps[1], "b")
+        cache.get(fps[0])  # freshen: fps[1] is now the LRU victim
+        cache.put(fps[2], "c")
+        assert fps[0] in cache and fps[2] in cache
+        assert fps[1] not in cache
+        assert cache.invalidations == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BlockCache(capacity=0)
+
+
+class TestTranslationCache:
+    def test_cold_engine_translates_every_block(self):
+        cache = BlockCache()
+        engine = _compiled_engine(FIB_TEXT, block_cache=cache)
+        stats = engine.translation_stats()
+        assert stats["blocks"] == 3
+        assert stats["translated"] == 3
+        assert stats["cache_hits"] == 0
+
+    def test_warm_engine_reuses_every_block(self):
+        cache = BlockCache()
+        cold = _compiled_engine(FIB_TEXT, block_cache=cache)
+        warm = _compiled_engine(FIB_TEXT, block_cache=cache)
+        assert warm.translation_stats() == {
+            "blocks": 3, "translated": 0, "cache_hits": 3,
+        }
+        assert cold.call("fib", 12) == warm.call("fib", 12) == 144
+
+    def test_fingerprint_matches_generated_source(self):
+        engine = _compiled_engine(FIB_TEXT, block_cache=BlockCache())
+        source = engine.block_source("fib", "rec")
+        assert engine.block_fingerprint("fib", "rec") == \
+            BlockCache.fingerprint(source)
+
+    def test_invalidation_forces_one_retranslation(self):
+        cache = BlockCache()
+        engine = _compiled_engine(FIB_TEXT, block_cache=cache)
+        assert cache.invalidate(engine.block_fingerprint("fib", "rec"))
+        fresh = _compiled_engine(FIB_TEXT, block_cache=cache)
+        assert fresh.translation_stats() == {
+            "blocks": 3, "translated": 1, "cache_hits": 2,
+        }
+        assert fresh.call("fib", 10) == 55
+
+    def test_accounting_config_changes_the_fingerprint(self):
+        # Cache probes are compiled into the block body, so the same RTL
+        # with caches off must not reuse a caches-on entry.
+        cache = BlockCache()
+        _compiled_engine(FIB_TEXT, block_cache=cache)
+        plain = _compiled_engine(
+            FIB_TEXT, block_cache=cache, simulate_caches=False
+        )
+        assert plain.translation_stats()["cache_hits"] == 0
+        assert plain.translation_stats()["translated"] == 3
+
+
+class TestBackendFallback:
+    def test_clean_request_gets_the_compiled_engine(self):
+        sim = Simulator(
+            parse_module(FIB_TEXT), get_machine("alpha"), backend="compiled"
+        )
+        assert sim.backend_requested == "compiled"
+        assert sim.backend == "compiled"
+        assert sim.fallback_reason is None
+        assert isinstance(sim.engine, CompiledEngine)
+        assert sim.call("fib", 10) == 55
+
+    @pytest.mark.parametrize("hook", ["fault_hook", "trace_hook"])
+    def test_hooks_fall_back_to_interp(self, hook):
+        sim = Simulator(
+            parse_module(FIB_TEXT), get_machine("alpha"),
+            backend="compiled", **{hook: lambda *a, **k: None},
+        )
+        assert sim.backend_requested == "compiled"
+        assert sim.backend == "interp"
+        assert hook in sim.fallback_reason
+        assert isinstance(sim.engine, Interpreter)
+
+    def test_env_fault_injection_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "coalesce=raise")
+        sim = Simulator(
+            parse_module(FIB_TEXT), get_machine("alpha"), backend="compiled"
+        )
+        assert sim.backend == "interp"
+        assert "REPRO_FAULTS" in sim.fallback_reason
+        assert sim.call("fib", 10) == 55
+
+    def test_interp_request_never_records_a_fallback(self):
+        sim = Simulator(
+            parse_module(FIB_TEXT), get_machine("alpha"),
+            backend="interp", trace_hook=lambda *a, **k: None,
+        )
+        assert sim.backend == sim.backend_requested == "interp"
+        assert sim.fallback_reason is None
+
+    def test_conflicting_engine_and_backend_is_an_error(self):
+        with pytest.raises(SimulationError, match="conflicting"):
+            Simulator(
+                parse_module(FIB_TEXT), get_machine("alpha"),
+                engine="interp", backend="compiled",
+            )
+
+    def test_translate_engine_keeps_strict_hook_behavior(self):
+        with pytest.raises(SimulationError, match="interp"):
+            Simulator(
+                parse_module(FIB_TEXT), get_machine("alpha"),
+                engine="translate", trace_hook=lambda *a, **k: None,
+            )
+
+    def test_env_default_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "compiled")
+        assert default_sim_backend() == "compiled"
+        sim = Simulator(parse_module(FIB_TEXT), get_machine("alpha"))
+        assert sim.backend == "compiled"
+
+    def test_bad_env_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "jit")
+        with pytest.raises(SimulationError, match="REPRO_SIM_BACKEND"):
+            default_sim_backend()
+
+
+class TestWatchdogAndDeadlineParity:
+    def test_timeout_attributes_identical(self):
+        outcomes = []
+        for backend in ("interp", "compiled"):
+            sim = Simulator(
+                parse_module(LOOP_TEXT), get_machine("alpha"),
+                backend=backend, max_steps=501,
+            )
+            with pytest.raises(SimulationTimeout) as exc_info:
+                sim.call("spin", 10_000)
+            exc = exc_info.value
+            outcomes.append(
+                (exc.steps, exc.limit, exc.function, exc.block)
+            )
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][1:] == (501, "spin", "loop")
+
+    def test_cancel_probe_cadence_identical(self):
+        counts = []
+        for backend in ("interp", "compiled"):
+            probes = []
+            sim = Simulator(
+                parse_module(LOOP_TEXT), get_machine("alpha"),
+                backend=backend, cancel=lambda: probes.append(1),
+            )
+            assert sim.call("spin", 40) == 40
+            counts.append(len(probes))
+        assert counts[0] == counts[1] > 0
+
+    def test_raising_cancel_stops_both_backends_identically(self):
+        states = []
+        for backend in ("interp", "compiled"):
+            fired = [0]
+
+            def cancel():
+                fired[0] += 1
+                if fired[0] >= 5:
+                    raise DeadlineExceeded(1.0, 2.0, "test")
+
+            sim = Simulator(
+                parse_module(LOOP_TEXT), get_machine("alpha"),
+                backend=backend, cancel=cancel,
+            )
+            with pytest.raises(DeadlineExceeded):
+                sim.call("spin", 10_000)
+            states.append((
+                fired[0],
+                sim.block_count("spin", "entry"),
+                sim.block_count("spin", "loop"),
+            ))
+        assert states[0] == states[1]
+
+
+# (alignment nudge, integer argument) — the sanitize matrix plus a
+# misaligned-large variant: offset buffers AND a trip count big enough
+# that coalesced wide accesses run several full iterations past the
+# alignment fallback's preheader checks.
+FIXTURE_VARIANTS = ((0, 8), (0, 5), (2, 6), (2, 24))
+
+PARITY_REPORT_FIELDS = (
+    "total_cycles", "base_cycles", "dcache_miss_cycles",
+    "icache_miss_cycles", "instr_count", "load_count", "store_count",
+    "memory_accesses", "dcache_misses", "icache_misses",
+)
+
+
+def _run_fixture(module, entry, machine, fixture):
+    """One fixture on one backend, staged exactly alike both times."""
+
+    def once(backend):
+        sim = Simulator(module, machine, backend=backend, max_steps=2_000_000)
+        args, buffers = [], []
+        for position, kind in enumerate(fixture.kinds):
+            if kind == "ptr":
+                addr = sim.memory.alloc(
+                    BUFFER_BYTES, align=8, offset=fixture.offset
+                )
+                sim.memory.write_bytes(addr, bytes(
+                    (13 + 7 * position + 3 * i) & 0xFF
+                    for i in range(BUFFER_BYTES)
+                ))
+                buffers.append(addr)
+                args.append(addr)
+            else:
+                args.append(fixture.int_value)
+        status, value = "ok", None
+        try:
+            value = sim.call(entry, *args)
+        except SimulationError as exc:
+            status = type(exc).__name__
+        observed = {"backend": sim.backend, "status": status, "value": value}
+        observed["buffers"] = tuple(
+            sim.memory.read_bytes(addr, BUFFER_BYTES) for addr in buffers
+        )
+        if status == "ok":
+            report = sim.report()
+            for field in PARITY_REPORT_FIELDS:
+                observed[field] = getattr(report, field)
+            observed["dcache_hits"] = sim.engine.dcache.hits
+            observed["icache_hits"] = sim.engine.icache.hits
+        return observed
+
+    return once("interp"), once("compiled")
+
+
+class TestFixtureMatrixParity:
+    @pytest.mark.parametrize("machine", ["alpha", "m88100", "m68030"])
+    @pytest.mark.parametrize("name, entry", [
+        ("blockstage", "blockstage"),
+        ("dotproduct", "dotproduct"),
+    ])
+    def test_fixture_matrix_bit_identical(self, name, entry, machine):
+        program = get_benchmark(name)
+        compiled = compile_minic(
+            program.source, machine, "coalesce-all", force_coalesce=True
+        )
+        func = compiled.module.function(entry)
+        for fixture in make_fixtures(func, FIXTURE_VARIANTS):
+            interp, comp = _run_fixture(
+                compiled.module, entry, compiled.machine, fixture
+            )
+            assert interp.pop("backend") == "interp"
+            assert comp.pop("backend") == "compiled"
+            assert interp == comp, (
+                f"{name} on {machine}, fixture {fixture.describe()}"
+            )
+
+
+class TestBenchmarkDifferential:
+    @pytest.mark.parametrize("machine", ["alpha", "m88100", "m68030"])
+    @pytest.mark.parametrize("name", ["image_xor", "mirror"])
+    def test_bench_cells_agree_on_every_diff_field(self, name, machine):
+        results = {
+            backend: run_benchmark(
+                name, machine, "coalesce-all",
+                width=16, height=16, sim_backend=backend,
+            )
+            for backend in ("interp", "compiled")
+        }
+        assert results["interp"].sim_backend == "interp"
+        assert results["compiled"].sim_backend == "compiled"
+        for field in bench_runner.DIFF_FIELDS:
+            assert getattr(results["interp"], field) == \
+                getattr(results["compiled"], field), field
+        assert results["compiled"].output_ok
+
+    def test_compiled_backend_reports_a_rate(self):
+        result = run_benchmark(
+            "image_xor", "alpha", "coalesce-all",
+            width=32, height=32, sim_backend="compiled",
+        )
+        assert result.sim_backend == "compiled"
+        assert result.sim_instrs_per_sec is not None
+        assert result.sim_instrs_per_sec > 0
+
+
+def _record(**overrides):
+    record = {
+        "program": "image_xor", "machine": "alpha",
+        "variant": "coalesce-all", "width": 16, "height": 16,
+        "status": "ok", "sim_backend": "compiled",
+        "sim_instrs_per_sec": 5_000_000.0,
+        "result": None, "output_ok": True, "cycles": 1000,
+        "base_cycles": 900, "dcache_miss_cycles": 60,
+        "icache_miss_cycles": 40, "dcache_misses": 6, "icache_misses": 4,
+        "instr_count": 500, "loads": 120, "stores": 60,
+        "memory_accesses": 180,
+    }
+    record.update(overrides)
+    return record
+
+
+class TestBenchRunnerGates:
+    def test_compare_backends_clean(self):
+        assert bench_runner.compare_backends([_record()], [_record()]) == []
+
+    def test_compare_backends_reports_each_divergence(self):
+        problems = bench_runner.compare_backends(
+            [_record(sim_backend="interp")],
+            [_record(cycles=1001, loads=121)],
+        )
+        assert len(problems) == 2
+        assert any("cycles diverged" in p for p in problems)
+        assert any("loads diverged" in p for p in problems)
+
+    def test_compare_backends_ignores_host_metrics(self):
+        problems = bench_runner.compare_backends(
+            [_record(sim_backend="interp", sim_instrs_per_sec=1e6)],
+            [_record(sim_instrs_per_sec=2e7)],
+        )
+        assert problems == []
+
+    def test_compare_backends_missing_and_failed_cells(self):
+        spare = _record(program="mirror")
+        failed = _record(status="failed", error="boom")
+        problems = bench_runner.compare_backends(
+            [_record(), spare], [failed]
+        )
+        assert any("missing from the second run" in p for p in problems)
+        assert any("boom" in p for p in problems)
+
+    def test_check_sim_rate_passes_on_the_peak_cell(self):
+        records = [
+            _record(sim_instrs_per_sec=1e5),
+            _record(program="mirror", sim_instrs_per_sec=9e6),
+        ]
+        assert bench_runner.check_sim_rate(records, 4e6) == []
+
+    def test_check_sim_rate_fails_below_the_floor(self):
+        problems = bench_runner.check_sim_rate(
+            [_record(sim_instrs_per_sec=1e5)], 4e6
+        )
+        assert len(problems) == 1
+        assert "below" in problems[0]
+
+    def test_check_sim_rate_rejects_fleet_wide_fallback(self):
+        # Every cell fell back to interp: the gate must fail rather
+        # than silently measure the wrong backend.
+        problems = bench_runner.check_sim_rate(
+            [_record(sim_backend="interp", sim_instrs_per_sec=9e9)], 1.0
+        )
+        assert len(problems) == 1
+        assert "no successful compiled-backend cells" in problems[0]
+
+    def test_backend_mismatch_detects_old_interp_baseline(self):
+        message = bench_runner.backend_mismatch(
+            [_record()], {"tag": "seed"}  # pre-field baseline == interp
+        )
+        assert message is not None
+        assert "'interp'" in message and "'compiled'" in message
+
+    def test_backend_mismatch_accepts_matching_backends(self):
+        baseline = {"tag": "seed", "sim_backend": "compiled"}
+        assert bench_runner.backend_mismatch([_record()], baseline) is None
+
+    def test_backend_mismatch_ignores_failed_cells(self):
+        baseline = {"tag": "seed", "sim_backend": "compiled"}
+        records = [
+            _record(),
+            _record(status="failed", sim_backend="interp"),
+        ]
+        assert bench_runner.backend_mismatch(records, baseline) is None
