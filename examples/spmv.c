@@ -1,0 +1,13 @@
+/* Sparse row product over CSR storage — the indirect-gather kernel.
+ * val[k] and col[k] are unit streams; x[col[k]] is a gather whose wide
+ * form is only valid behind the run-time index-adjacency probe, so the
+ * lint checkers must see the full generalized Figure 5 chain. */
+int spmv_row(short *val, short *col, short *x, int nnz) {
+    int k;
+    int sum;
+    sum = 0;
+    for (k = 0; k < nnz; k = k + 1) {
+        sum = sum + val[k] * x[col[k]];
+    }
+    return sum;
+}

@@ -70,7 +70,9 @@ def alias_intervals(
         return MAY_ALIAS
 
     # Same root (including const vs const: both absolute addresses).
-    if a.step != b.step:
+    # Affine terms must match exactly: only then is the distance between
+    # the streams the constant offset difference.
+    if a.terms != b.terms or a.step != b.step:
         return MAY_ALIAS
     lo_a, hi_a = a.offset + a_lo, a.offset + a_hi
     lo_b, hi_b = b.offset + b_lo, b.offset + b_hi
@@ -89,8 +91,11 @@ def provable_alignment(
     iteration?
 
     True when the root object's own alignment is a multiple of the wide
-    width, the constant offset lands on a wide boundary, and the stream
-    advances by whole wide words.  Only frame slots carry a declared
+    width, the constant offset lands on a wide boundary, the stream
+    advances by whole wide words, and every affine term's coefficient is
+    itself a multiple of the wide width (``coeff % wide == 0`` makes the
+    term's contribution a whole number of wide words whatever the
+    symbolic factor's value).  Only frame slots carry a declared
     alignment the function itself controls; everything else stays a
     run-time question (the paper's alignment check).
     """
@@ -104,4 +109,5 @@ def provable_alignment(
         align % wide_width == 0
         and (expr.offset + start_disp) % wide_width == 0
         and expr.step % wide_width == 0
+        and all(coeff % wide_width == 0 for _, coeff in expr.terms)
     )

@@ -149,7 +149,8 @@ def constant_trip_count(func, chains, loop, ivs) -> Optional[int]:
         )
         if bound is None or bound.step != 0:
             return None
-    if bound.root != entry.root:
+    if bound.root != entry.root or bound.terms != entry.terms:
+        # Mismatched affine terms leave the distance symbolic.
         return None
     step = abs(trip.step)
     span = (

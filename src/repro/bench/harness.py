@@ -63,6 +63,9 @@ class BenchResult:
     coalesced_loops: int
     # Figure 5 runtime checks the static alias engine discharged.
     checks_elided: int = 0
+    # Accepted runs per access shape ('unit'/'strided'/'affine'/
+    # 'indirect') summed over applied loops.
+    coalesced_by_shape: Dict[str, int] = field(default_factory=dict)
     result: Optional[int] = None
     loads: int = 0
     stores: int = 0
@@ -144,6 +147,7 @@ def run_benchmark(
         output_ok=ok,
         coalesced_loops=compiled.coalesced_loops,
         checks_elided=compiled.checks_elided,
+        coalesced_by_shape=compiled.coalesced_by_shape,
         result=result,
         loads=report.load_count,
         stores=report.store_count,
@@ -254,6 +258,67 @@ def _stage_and_run(
         if not check:
             return value, True
         return value, value == workloads.ref_blockstage(src, pixels)
+
+    if name == "spmv_csr":
+        nrows = max(height, 4)
+        vals, cols, rowptr = workloads.csr_matrix(nrows)
+        ncols = 128
+        x_vals = workloads.lcg_shorts(ncols, seed=4321, span=128)
+        y = sim.alloc_array("y", size=4 * nrows)
+        v = sim.alloc_array("val", size=2 * len(vals))
+        c = sim.alloc_array("col", size=2 * len(cols))
+        rp = sim.alloc_array("rowptr", size=4 * len(rowptr))
+        x = sim.alloc_array("x", size=2 * ncols)
+        sim.write_words(v, vals, 2)
+        sim.write_words(c, cols, 2)
+        sim.write_words(rp, rowptr, 4)
+        sim.write_words(x, x_vals, 2)
+        value = sim.call("spmv", y, v, c, rp, x, nrows)
+        value = _to_signed(value, sim.machine.word_bits)
+        if not check:
+            return value, True
+        got_y = sim.read_words(y, nrows, 4)
+        ref_y, ref_total = workloads.ref_spmv(
+            vals, cols, rowptr, x_vals, nrows
+        )
+        return value, value == ref_total and got_y == ref_y
+
+    if name == "histogram":
+        src = workloads.lcg_bytes(pixels, seed=17)
+        h = sim.alloc_array("hist", size=4 * 256)
+        s = sim.alloc_array("src", bytes(src))
+        value = sim.call("histogram", h, s, pixels)
+        value = _to_signed(value, sim.machine.word_bits)
+        reference = workloads.ref_histogram(src)
+        if not check:
+            return value, True
+        got = sim.read_words(h, 256, 4)
+        return value, value == reference[0] and got == reference
+
+    if name == "strided_copy":
+        src = workloads.lcg_bytes(2 * pixels, seed=23)
+        d = sim.alloc_array("dst", size=pixels)
+        s = sim.alloc_array("src", bytes(src))
+        sim.call("strided_copy", d, s, pixels)
+        if not check:
+            return None, True
+        got = sim.read_words(d, pixels, 1, signed=False)
+        return None, got == workloads.ref_strided_copy(src, pixels)
+
+    if name == "conv2d_rowwalk":
+        rows = max(height, 3)
+        w = max(4, min(width, 64))
+        m_vals = workloads.lcg_bytes(rows * 64, seed=29)
+        m = sim.alloc_array("m", bytes(m_vals))
+        out = sim.alloc_array("out", size=w)
+        y_row = rows // 2
+        value = sim.call("conv2d_rowwalk", m, out, y_row, w)
+        value = _to_signed(value, sim.machine.word_bits)
+        reference = workloads.ref_conv2d_rowwalk(m_vals, y_row, w)
+        if not check:
+            return value, True
+        got = sim.read_words(out, w, 1, signed=False)
+        return value, value == reference[1] and got == reference
 
     if name == "dotproduct":
         count = pixels

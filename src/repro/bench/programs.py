@@ -219,6 +219,79 @@ int blockstage(unsigned char *src, int n) {
 }
 """
 
+SPMV_CSR_SOURCE = """
+/* Sparse matrix-vector product over compressed-sparse-row storage.
+ * The inner loop mixes every access shape the coalescer knows: val[k]
+ * and col[k] are unit streams, x[col[k]] is an indirect gather whose
+ * wide form is guarded by the run-time index-adjacency probe (banded
+ * rows pass it and take the coalesced copy; scattered rows fail it and
+ * fall back to the original loop).
+ */
+int spmv(int *y, short *val, short *col, int *rowptr, short *x,
+         int nrows) {
+    int r; int k; int kend; int sum; int total;
+    total = 0;
+    for (r = 0; r < nrows; r = r + 1) {
+        sum = 0;
+        kend = rowptr[r + 1];
+        for (k = rowptr[r]; k < kend; k = k + 1) {
+            sum = sum + val[k] * x[col[k]];
+        }
+        y[r] = sum;
+        total = total + sum;
+    }
+    return total;
+}
+"""
+
+HISTOGRAM_SOURCE = """
+/* Byte histogram: the negative control for indirect coalescing.  The
+ * src[i] index loads coalesce (unit stream), but the hist[src[i]]++
+ * read-modify-write is a gather crossed by a data-dependent scatter --
+ * the hazard audit must reject every indirect run here.
+ */
+int histogram(int *hist, unsigned char *src, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    hist[src[i]] = hist[src[i]] + 1;
+  }
+  return hist[0];
+}
+"""
+
+STRIDED_COPY_SOURCE = """
+/* Every-other-byte decimation copy.  The src stream advances two bytes
+ * per element, so each wide word holds a *sparse* window of loads; the
+ * stores stay a dense unit stream.  Exercises the strided shape and the
+ * stride-divisibility form of the Figure 5 checks.
+ */
+void strided_copy(unsigned char *dst, unsigned char *src, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        dst[i] = src[2 * i];
+    }
+}
+"""
+
+CONV2D_ROWWALK_SOURCE = """
+/* Five-point stencil over one row of a 2-D array parameter.  The three
+ * row bases are multi-term affine addresses (m + 64*(y+c)), which the
+ * symbolic engine proves pairwise disjoint -- the affine-bound form of
+ * the Figure 5 checks covers what remains.
+ */
+int conv2d_rowwalk(unsigned char m[][64], unsigned char *out, int y,
+                   int w) {
+  int x;
+  int acc;
+  for (x = 1; x < w - 1; x = x + 1) {
+    acc = m[y - 1][x] + m[y][x - 1] + 2 * m[y][x] + m[y][x + 1]
+        + m[y + 1][x];
+    out[x] = acc / 6;
+  }
+  return out[1];
+}
+"""
+
 BENCHMARKS: Dict[str, BenchmarkProgram] = {
     program.name: program
     for program in [
@@ -278,8 +351,46 @@ BENCHMARKS: Dict[str, BenchmarkProgram] = {
             BLOCKSTAGE_SOURCE,
             "blockstage",
         ),
+        BenchmarkProgram(
+            "spmv_csr",
+            "Sparse matrix-vector product (CSR): indirect gathers "
+            "behind the index-adjacency probe",
+            SPMV_CSR_SOURCE,
+            "spmv",
+        ),
+        BenchmarkProgram(
+            "histogram",
+            "Byte histogram: indirect read-modify-write the hazard "
+            "audit must reject (negative control)",
+            HISTOGRAM_SOURCE,
+            "histogram",
+        ),
+        BenchmarkProgram(
+            "strided_copy",
+            "Every-other-byte decimation copy: sparse strided windows "
+            "behind stride-divisibility checks",
+            STRIDED_COPY_SOURCE,
+            "strided_copy",
+        ),
+        BenchmarkProgram(
+            "conv2d_rowwalk",
+            "Five-point stencil over a 2-D array parameter: multi-term "
+            "affine row bases",
+            CONV2D_ROWWALK_SOURCE,
+            "conv2d_rowwalk",
+        ),
     ]
 }
+
+#: The access-shape benchmark family: one program per non-unit point of
+#: the shape lattice plus the indirect negative control.  Not part of
+#: the paper's tables — they exercise the generalized pipeline.
+SHAPE_FAMILY = (
+    "spmv_csr",
+    "histogram",
+    "strided_copy",
+    "conv2d_rowwalk",
+)
 
 # The six programs the paper's Tables II/III report (in table order).
 TABLE_ORDER = [

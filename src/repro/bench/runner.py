@@ -194,6 +194,9 @@ def _run_spec(spec: BenchSpec) -> Dict[str, object]:
         "output_ok": result.output_ok,
         "coalesced_loops": result.coalesced_loops,
         "checks_elided": result.checks_elided,
+        "coalesced_by_shape": dict(
+            sorted(result.coalesced_by_shape.items())
+        ),
         "wall_seconds": round(wall, 6),
         "compile_seconds": round(result.compile_seconds, 6),
         "sim_seconds": round(result.sim_seconds, 6),
@@ -234,6 +237,7 @@ def _failed_record(spec: BenchSpec, error: str) -> Dict[str, object]:
         "output_ok": False,
         "coalesced_loops": 0,
         "checks_elided": 0,
+        "coalesced_by_shape": {},
         "wall_seconds": 0.0,
         "compile_seconds": 0.0,
         "sim_seconds": 0.0,
@@ -412,12 +416,14 @@ class ComparisonRow:
     machine: str
     variant: str
     baseline_cycles: Optional[int]
-    current_cycles: int
-    status: str  # 'ok' | 'improved' | 'regression' | 'missing' | 'failed'
+    # None for a baseline record the current run did not measure.
+    current_cycles: Optional[int]
+    # 'ok' | 'improved' | 'regression' | 'missing' | 'failed' | 'skipped'
+    status: str
 
     @property
     def delta_percent(self) -> Optional[float]:
-        if not self.baseline_cycles:
+        if not self.baseline_cycles or self.current_cycles is None:
             return None
         return (
             (self.current_cycles - self.baseline_cycles)
@@ -439,8 +445,10 @@ def compare_runs(
     simulated *cycles* are toleranced: host-side measurement fields
     (:data:`HOST_METRIC_FIELDS` — wall clocks, rates, backend tags)
     never participate.
-    Baseline records with no current counterpart are ignored: the gate
-    may legitimately measure a subset (e.g. ``--quick``).
+    A baseline record with no current counterpart becomes a 'skipped'
+    row: the gate may legitimately measure a subset (e.g. ``--quick``),
+    but the table must say what the subset left uncovered rather than
+    silently shrinking.  Skipped rows never fail the gate.
     """
     if tolerance is None:
         tolerance = default_tolerance()
@@ -452,11 +460,13 @@ def compare_runs(
         for r in baseline.get("records", [])
     }
     rows: List[ComparisonRow] = []
+    measured = set()
     for record in current:
         key = (
             record["program"], record["machine"], record["variant"],
             record.get("width"), record.get("height"),
         )
+        measured.add(key)
         base = by_key.get(key)
         if record.get("status", "ok") != "ok":
             base_cycles = base["cycles"] if base is not None else None
@@ -485,11 +495,25 @@ def compare_runs(
                 status=status,
             )
         )
+    for key in sorted(set(by_key) - measured, key=str):
+        base = by_key[key]
+        rows.append(
+            ComparisonRow(
+                program=base["program"],
+                machine=base["machine"],
+                variant=base["variant"],
+                baseline_cycles=base["cycles"],
+                current_cycles=None,
+                status="skipped",
+            )
+        )
     return rows
 
 
 def gate_passed(rows: Iterable[ComparisonRow]) -> bool:
-    return all(row.status in ("ok", "improved") for row in rows)
+    return all(
+        row.status in ("ok", "improved", "skipped") for row in rows
+    )
 
 
 def backend_mismatch(
@@ -623,15 +647,21 @@ def format_compare_table(
             str(row.baseline_cycles)
             if row.baseline_cycles is not None else "-"
         )
+        current = (
+            str(row.current_cycles)
+            if row.current_cycles is not None else "-"
+        )
         delta = (
             f"{row.delta_percent:+8.2f}"
             if row.delta_percent is not None else f"{'-':>8}"
         )
         lines.append(
             f"{row.program:<14} {row.machine:<8} {row.variant:<15} "
-            f"{base:>10} {row.current_cycles:>10} {delta}  {row.status}"
+            f"{base:>10} {current:>10} {delta}  {row.status}"
         )
-    bad = [r for r in rows if r.status not in ("ok", "improved")]
+    bad = [
+        r for r in rows if r.status not in ("ok", "improved", "skipped")
+    ]
     lines.append(
         "gate: PASS"
         if not bad else

@@ -119,6 +119,80 @@ def ref_blockstage(src: List[int], n: int) -> int:
     return total
 
 
+def ref_spmv(
+    vals: List[int], cols: List[int], rowptr: List[int],
+    x: List[int], nrows: int,
+) -> Tuple[List[int], int]:
+    """CSR product: the y vector and the summed total."""
+    y = [0] * nrows
+    total = 0
+    for r in range(nrows):
+        acc = 0
+        for k in range(rowptr[r], rowptr[r + 1]):
+            acc += vals[k] * x[cols[k]]
+        y[r] = acc
+        total += acc
+    return y, total
+
+
+def ref_histogram(src: List[int], bins: int = 256) -> List[int]:
+    hist = [0] * bins
+    for value in src:
+        hist[value] += 1
+    return hist
+
+
+def ref_strided_copy(src: List[int], n: int) -> List[int]:
+    return [src[2 * i] for i in range(n)]
+
+
+def ref_conv2d_rowwalk(
+    m: List[int], y: int, w: int, pitch: int = 64
+) -> List[int]:
+    """The out vector (length ``w``; untouched slots stay zero)."""
+    out = [0] * w
+    for x in range(1, w - 1):
+        acc = (
+            m[(y - 1) * pitch + x] + m[y * pitch + x - 1]
+            + 2 * m[y * pitch + x] + m[y * pitch + x + 1]
+            + m[(y + 1) * pitch + x]
+        )
+        out[x] = (acc // 6) & 0xFF
+    return out
+
+
+def csr_matrix(
+    nrows: int, ncols: int = 128, row_len: int = 8, seed: int = 4242
+) -> Tuple[List[int], List[int], List[int]]:
+    """A deterministic CSR matrix of ``(vals, cols, rowptr)``.
+
+    Even rows are *banded*: ``row_len`` consecutive columns starting at
+    a multiple of four, so the coalesced gather's index-adjacency probe
+    passes and the wide copy runs.  Odd rows are *scattered* (every
+    other column), so the probe fails and the original loop serves as
+    the fallback — both arms of the run-time check execute in one call.
+    """
+    assert row_len * 2 <= ncols
+    vals: List[int] = []
+    cols: List[int] = []
+    rowptr: List[int] = [0]
+    state = seed & 0x7FFFFFFF
+    for r in range(nrows):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        if r % 2 == 0:
+            start = ((state >> 16) % (ncols - row_len)) & ~3
+            row_cols = [start + j for j in range(row_len)]
+        else:
+            start = (state >> 16) % (ncols - 2 * row_len)
+            row_cols = [start + 2 * j for j in range(row_len)]
+        for c in row_cols:
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            vals.append(((state >> 12) % 64) - 32)
+            cols.append(c)
+        rowptr.append(len(cols))
+    return vals, cols, rowptr
+
+
 def eqntott_terms(nterms: int, width: int, seed: int = 777) -> List[int]:
     """Product-term table: 0/1/2 values (2 = don't care) with long equal
     prefixes, like eqntott's bit vectors — comparisons scan deep before

@@ -21,15 +21,24 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.loops import Loop, find_loops
 from repro.analysis.tripcount import analyze_trip_count
-from repro.coalesce.hazards import check_hazards
+from repro.coalesce.hazards import check_hazards, check_indirect_hazards
 from repro.coalesce.partition import (
     Partition,
     Run,
     classify_partitions,
+    find_indirect_runs,
     find_runs,
 )
-from repro.coalesce.runtime_checks import CheckPlan, insert_runtime_checks
-from repro.coalesce.profitability import estimate_block_cycles
+from repro.coalesce.runtime_checks import (
+    CheckPlan,
+    IndexProbe,
+    insert_runtime_checks,
+)
+from repro.coalesce.profitability import (
+    estimate_block_cycles,
+    shape_check_overhead,
+)
+from repro.coalesce.shapes import AFFINE, STRIDED, classify_partition
 from repro.coalesce.widen import apply_plans, widen_run
 from repro.ir.function import BasicBlock, Function
 from repro.opt.pass_manager import PassContext
@@ -49,6 +58,11 @@ class CoalesceReport:
     # (kind, why) line per elision.
     checks_elided: int = 0
     elisions: List[Tuple[str, str]] = field(default_factory=list)
+    # Per-shape breakdown: lattice kind -> candidate runs found /
+    # applied, and check kind -> statically discharged checks.
+    shape_attempts: Dict[str, int] = field(default_factory=dict)
+    shape_wins: Dict[str, int] = field(default_factory=dict)
+    shape_elisions: Dict[str, int] = field(default_factory=dict)
     cycles_original: int = 0
     cycles_coalesced: int = 0
     applied: bool = False
@@ -130,12 +144,32 @@ def coalesce_function(
         oracle = summary.loop(loop.header)
         block = func.block(loop.header)
         partitions = classify_partitions(func, loop, block)
+        for partition in partitions.values():
+            expr = (
+                oracle.base_exprs.get(partition.base.index)
+                if oracle is not None
+                else None
+            )
+            partition.shape = classify_partition(partition, expr)
         runs = find_runs(
             partitions,
             coalescible_widths(machine),
             include_stores=include_stores,
         )
+        # A dense tile inherits the stream's shape: a run that walks a
+        # strided or affine stream still answers to that shape's
+        # generalized Figure 5 obligations.
+        for run in runs:
+            if run.partition.shape.kind in (STRIDED, AFFINE):
+                run.shape = run.shape.join(run.partition.shape)
+        runs += find_indirect_runs(
+            block, partitions, coalescible_widths(machine)
+        )
         report.runs_found = len(runs)
+        for run in runs:
+            report.shape_attempts[run.shape.kind] = (
+                report.shape_attempts.get(run.shape.kind, 0) + 1
+            )
         if not runs:
             report.skipped_reason = "no coalescible runs"
             reports.append(report)
@@ -145,7 +179,10 @@ def coalesce_function(
         alias_keys: Set[Tuple[int, int]] = set()
         elided_keys: Set[Tuple[int, int]] = set()
         for run in runs:
-            hazard = check_hazards(block, run, partitions, oracle)
+            if run.indirect is not None:
+                hazard = check_indirect_hazards(block, run)
+            else:
+                hazard = check_hazards(block, run, partitions, oracle)
             if hazard.safe:
                 accepted.append(run)
                 alias_keys |= hazard.alias_pairs
@@ -200,6 +237,22 @@ def coalesce_function(
                 dischargeable.add(("divisibility",))
 
         trip = analyze_trip_count(func, loop)
+        if trip is None:
+            # The adjacency probe scans ``elems × trips`` index
+            # elements; with no computable trip count the indirect runs
+            # drop out (dense runs may still stand on their own).
+            for run in [r for r in accepted if r.indirect is not None]:
+                report.rejections.append(
+                    (repr(run), "adjacency probe needs a trip count")
+                )
+            accepted = [r for r in accepted if r.indirect is None]
+            report.runs_safe = len(accepted)
+            if not accepted:
+                report.skipped_reason = (
+                    "all runs rejected by hazard analysis"
+                )
+                reports.append(report)
+                continue
         if (alias_keys or divisibility) and trip is None:
             report.skipped_reason = (
                 "needs run-time checks but the trip count is opaque"
@@ -219,6 +272,7 @@ def coalesce_function(
             if (
                 use_unaligned
                 and not run.is_store
+                and run.indirect is None
                 and run.wide_width == machine.word_bytes
             ):
                 from repro.coalesce.widen import widen_run_unaligned
@@ -248,7 +302,12 @@ def coalesce_function(
         best = None
         for subset in subsets:
             lcopy = build_lcopy(subset)
-            cycles = estimate_block_cycles(func, lcopy, machine)
+            # The adjacency probes' O(n) scan is charged per iteration
+            # on top of the scheduled body — the honest price of the
+            # indirect shape's run-time machinery.
+            cycles = estimate_block_cycles(
+                func, lcopy, machine
+            ) + shape_check_overhead(subset, machine)
             if best is None or cycles < best[2]:
                 best = (subset, lcopy, cycles)
 
@@ -271,7 +330,9 @@ def coalesce_function(
                     continue
                 reduced = [r for r in best[0] if r is not run]
                 lcopy = build_lcopy(reduced)
-                cycles = estimate_block_cycles(func, lcopy, machine)
+                cycles = estimate_block_cycles(
+                    func, lcopy, machine
+                ) + shape_check_overhead(reduced, machine)
                 # Ties also drop the run: equal speed with one fewer
                 # wide reference means one fewer preheader check.
                 if cycles <= best[2]:
@@ -298,6 +359,10 @@ def coalesce_function(
         alignments: List[Tuple] = []
         seen_align = set()
         for run in accepted:
+            if run.indirect is not None:
+                # The synthetic base is loop-varying; the gather's
+                # alignment facts are the probe's business below.
+                continue
             if not (
                 run.is_store
                 or not use_unaligned
@@ -328,6 +393,87 @@ def coalesce_function(
                 (run.partition.base, run.start_disp, run.wide_width)
             )
 
+        # Stride divisibility (generalized Figure 5): a strided run's
+        # alignment proof only carries across iterations because the
+        # pointer advances by whole wide words.  The step is a compile-
+        # time constant and run discovery already enforced the fact, so
+        # the check is always statically dischargeable; with elision
+        # off it is emitted as a (trivially true) marked test.
+        strides: List[Tuple[int, int]] = []
+        seen_strides = set()
+        for run in accepted:
+            if run.indirect is not None:
+                continue
+            covered = len({r.disp for r in run.refs}) * run.width
+            if run.shape.kind != STRIDED and covered >= run.wide_width:
+                continue  # a dense tile on a unit/affine stream
+            key = (run.partition.step, run.wide_width)
+            if key in seen_strides:
+                continue
+            seen_strides.add(key)
+            if elide_checks:
+                pending_elisions.append((
+                    "stride-divisibility",
+                    f"step {run.partition.step} advances whole "
+                    f"{run.wide_width}-byte words",
+                ))
+                continue
+            dischargeable.add(("stride",) + key)
+            strides.append(key)
+
+        # One adjacency probe per distinct gather family; each chunk
+        # offset residue contributes one lead-index modulus check, and
+        # a provably aligned table base drops its alignment test.
+        probes: List[IndexProbe] = []
+        probe_by_key: Dict[Tuple[int, int, int], IndexProbe] = {}
+        for run in accepted:
+            info = run.indirect
+            if info is None:
+                continue
+            key = (
+                info.x_base.index, info.index_base.index, run.wide_width
+            )
+            probe = probe_by_key.get(key)
+            if probe is None:
+                check_x = True
+                if summary.aligned(
+                    loop.header, info.x_base.index, 0, run.wide_width
+                ):
+                    if elide_checks:
+                        pending_elisions.append((
+                            "alignment",
+                            f"gather table r{info.x_base.index} is "
+                            f"{run.wide_width}-byte aligned",
+                        ))
+                        check_x = False
+                    else:
+                        dischargeable.add((
+                            "alignment", info.x_base.index, 0,
+                            run.wide_width,
+                        ))
+                probe = IndexProbe(
+                    x_base=info.x_base,
+                    index_base=info.index_base,
+                    index_width=info.index_width,
+                    index_signed=info.index_signed,
+                    elems_per_iter=info.elems_per_iter,
+                    count=info.count,
+                    wide=run.wide_width,
+                    check_x_alignment=check_x,
+                )
+                probe_by_key[key] = probe
+                probes.append(probe)
+            # With adjacency holding, one modulus check per residue
+            # class of the chunk's element position covers every
+            # iteration's chunks at that offset.
+            residue = (info.first_disp // info.index_width) % info.count
+            covered = {
+                (d // probe.index_width) % probe.count
+                for d in probe.mod_disps
+            }
+            if residue not in covered:
+                probe.mod_disps = probe.mod_disps + (info.first_disp,)
+
         # Commit: splice LCOPY and the run-time checks in.
         func.blocks.insert(func.block_index(loop.header) + 1, lcopy)
         plan = CheckPlan(
@@ -337,11 +483,21 @@ def coalesce_function(
             ],
             trip=trip,
             divisibility=divisibility,
+            strides=strides,
+            probes=probes,
             dischargeable=frozenset(dischargeable),
         )
         insert_runtime_checks(func, loop, lcopy_label, plan)
         report.elisions.extend(pending_elisions)
         report.checks_elided = len(report.elisions)
+        for kind, _ in pending_elisions:
+            report.shape_elisions[kind] = (
+                report.shape_elisions.get(kind, 0) + 1
+            )
+        for run in accepted:
+            report.shape_wins[run.shape.kind] = (
+                report.shape_wins.get(run.shape.kind, 0) + 1
+            )
         report.applied = True
         report.lcopy_label = lcopy_label
         reports.append(report)

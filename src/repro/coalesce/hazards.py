@@ -56,6 +56,36 @@ def _pair(a: int, b: int) -> Tuple[int, int]:
     return (a, b) if a <= b else (b, a)
 
 
+def check_indirect_hazards(block: BasicBlock, run: Run) -> HazardResult:
+    """Figure 4 for a gather run — strictly harsher than the base-and-
+    displacement rules.
+
+    The gathered addresses are data-dependent, so no span can be
+    computed in the preheader for a run-time overlap test: *any* store
+    crossed by the upward motion of the member loads rejects the run
+    outright, as does a call or a redefinition of the lead address
+    register.  (A histogram's ``hist[src[i]]++`` dies here — correctly:
+    its read-modify-write gathers must not reorder.)
+    """
+    base_index = run.partition.base.index
+    member_positions = {r.index for r in run.refs}
+    for position in range(run.first_index, run.last_index + 1):
+        instr = block.instrs[position]
+        if isinstance(instr, Call):
+            return HazardResult(False, "call inside the coalesced region")
+        if isinstance(instr, Store):
+            return HazardResult(
+                False, "store crosses the gathered loads"
+            )
+        if position in member_positions:
+            continue
+        if any(r.index == base_index for r in instr.defs()):
+            return HazardResult(
+                False, "lead gather address modified inside the region"
+            )
+    return HazardResult(safe=True)
+
+
 def check_hazards(
     block: BasicBlock,
     run: Run,

@@ -9,21 +9,33 @@ reference in a partition is ``M[p + d]`` with a constant ``d``, so the
 relative-offset calculation is simply reading (and sorting by) the
 displacements.
 
-A *run* is a maximal coalescing candidate inside one partition: ``c``
-same-width, same-kind references at consecutive displacements that exactly
-tile one wide word (``c × w == wide``) starting at a wide-aligned
-displacement.
+A *run* is a maximal coalescing candidate inside one partition.  The
+classic (unit-stride) run is ``c`` same-width, same-kind references at
+consecutive displacements that exactly tile one wide word
+(``c × w == wide``).  Two generalized run shapes extend it:
+
+* a **strided** run — load references that fall inside one wide window
+  without tiling it (``src[2*i]``): one wide load reads the gaps too
+  and the extracts simply skip them.  Stores never coalesce sparsely
+  (the wide store would clobber the gap bytes).
+* an **indirect** run — gather loads ``x[idx[k]]`` whose index loads
+  walk an IV partition at consecutive displacements: under a run-time
+  index-adjacency probe (the SpMV trick) the gathered elements are
+  contiguous, so the group collapses to one wide load off the lead
+  gather's address register.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.induction import find_basic_ivs
 from repro.analysis.loops import Loop
+from repro.coalesce.shapes import AccessShape, INDIRECT, STRIDED, \
+    UNIT_SHAPE
 from repro.ir.function import BasicBlock, Function
-from repro.ir.rtl import Instr, Load, Reg, Store
+from repro.ir.rtl import BinOp, Const, Instr, Load, Reg, Store
 
 
 @dataclass
@@ -57,6 +69,9 @@ class Partition:
     kind: str
     step: int = 0
     refs: List[MemoryRef] = field(default_factory=list)
+    #: the partition's access shape, filled in by the coalescer once the
+    #: alias engine's symbolic base expression is known.
+    shape: AccessShape = UNIT_SHAPE
 
     @property
     def loads(self) -> List[MemoryRef]:
@@ -82,11 +97,38 @@ class Partition:
 
 
 @dataclass
+class IndirectInfo:
+    """What the runtime machinery needs to know about a gather run.
+
+    The wide load reads ``count`` elements off the *lead* gather's
+    address register; validity rests on the Figure-5 generalizations
+    emitted per index partition: the adjacency probe over
+    ``elems_per_iter × trips`` index values, the lead-index modulus
+    check, and (on aligned-only machines) the table base alignment.
+    """
+
+    x_base: Reg            # the loop-invariant table base
+    index_base: Reg        # the index (e.g. ``col``) partition's base
+    index_step: int        # bytes the index pointer advances per iter
+    index_width: int       # bytes per index element
+    index_signed: bool
+    count: int             # gathered elements per wide word
+    first_disp: int        # byte disp of the chunk's first index load
+
+    @property
+    def elems_per_iter(self) -> int:
+        return self.index_step // self.index_width
+
+
+@dataclass
 class Run:
-    """A coalescing candidate: narrow refs that tile one wide word.
+    """A coalescing candidate: narrow refs covered by one wide word.
 
     ``refs`` is in block (execution) order and may contain several
-    references per displacement.
+    references per displacement.  ``shape`` records which lattice point
+    justified the grouping; indirect runs carry their probe parameters
+    in ``indirect`` and their displacements are *virtual* (relative to
+    the lead gather's address register).
     """
 
     partition: Partition
@@ -94,6 +136,8 @@ class Run:
     is_store: bool
     width: int             # element width
     wide_width: int
+    shape: AccessShape = UNIT_SHAPE
+    indirect: Optional[IndirectInfo] = None
 
     @property
     def start_disp(self) -> int:
@@ -110,7 +154,8 @@ class Run:
     def __repr__(self) -> str:
         kind = "store" if self.is_store else "load"
         return (
-            f"<Run {kind} base=r{self.partition.base.index} "
+            f"<Run {kind}/{self.shape.kind} "
+            f"base=r{self.partition.base.index} "
             f"disp={self.start_disp}+{self.width}*{len(self.refs)}>"
         )
 
@@ -178,6 +223,10 @@ def find_runs(
                 continue
             refs = partition.stores if is_store else partition.loads
             claimed: set = set()
+            # Dense tiles at every width first — a contiguous run never
+            # reads a byte it doesn't need — then sparse windows pick up
+            # strided leftovers (loads only: a sparse wide store would
+            # clobber the gap bytes).
             for wide in wide_widths:
                 # The preheader alignment check only holds across
                 # iterations when the pointer advances by whole wide
@@ -187,6 +236,16 @@ def find_runs(
                     continue
                 available = [r for r in refs if r.disp not in claimed]
                 found = _runs_in_refs(partition, available, is_store, wide)
+                for run in found:
+                    claimed.update(ref.disp for ref in run.refs)
+                runs.extend(found)
+            if is_store:
+                continue
+            for wide in wide_widths:
+                if partition.step % wide != 0:
+                    continue
+                available = [r for r in refs if r.disp not in claimed]
+                found = _sparse_runs_in_refs(partition, available, wide)
                 for run in found:
                     claimed.update(ref.disp for ref in run.refs)
                 runs.extend(found)
@@ -239,4 +298,203 @@ def _runs_in_refs(
             runs.append(
                 Run(partition, refs_in_tile, is_store, width, wide_width)
             )
+    return runs
+
+
+def _sparse_runs_in_refs(
+    partition: Partition,
+    refs: List[MemoryRef],
+    wide_width: int,
+) -> List[Run]:
+    """Strided (sparse) windows: ≥2 same-width loads inside one wide
+    word that do *not* tile it.  The wide load reads the gap bytes
+    harmlessly; each member extracts its own field."""
+    runs: List[Run] = []
+    by_width: Dict[int, List[MemoryRef]] = {}
+    for ref in refs:
+        if ref.width < wide_width and not getattr(
+            ref.instr, "unaligned", False
+        ):
+            by_width.setdefault(ref.width, []).append(ref)
+    for width, group in by_width.items():
+        if wide_width // width < 2:
+            continue
+        by_disp: Dict[int, List[MemoryRef]] = {}
+        for ref in group:
+            by_disp.setdefault(ref.disp, []).append(ref)
+        disps = sorted(by_disp)
+        used: set = set()
+        for start in disps:
+            if start in used:
+                continue
+            window = [
+                d for d in disps
+                if d not in used
+                and start <= d and d + width <= start + wide_width
+            ]
+            if len(window) < 2:
+                continue
+            members: List[MemoryRef] = []
+            for d in window:
+                used.add(d)
+                members.extend(by_disp[d])
+            members.sort(key=lambda r: r.index)
+            gaps = {b - a for a, b in zip(window, window[1:])}
+            stride = (gaps.pop(),) if len(gaps) == 1 else None
+            runs.append(
+                Run(
+                    partition, members, False, width, wide_width,
+                    shape=AccessShape(STRIDED, stride),
+                )
+            )
+    return runs
+
+
+def find_indirect_runs(
+    block: BasicBlock,
+    partitions: Dict[int, Partition],
+    wide_width,
+) -> List[Run]:
+    """Gather groups: loads ``x[idx[k]]`` whose index loads walk one IV
+    partition at consecutive displacements.
+
+    The address chain recognized per gather (after strength reduction
+    and unrolling) is::
+
+        idx  = load.<iw> [index_iv + d]     # the index stream
+        off  = shl idx, log2(w)             # absent when w == 1
+        addr = add x_base, off              # either operand order
+        val  = load.<w>  [addr]             # the gather
+
+    Consecutive-``d`` gathers off the same ``x_base`` chunk into groups
+    of ``count = wide // w``; each group becomes an indirect
+    :class:`Run` whose member displacements are virtual — ``j*w`` off
+    the lead gather's address register, the layout the wide load has
+    *if* the run-time adjacency probe passes.
+    """
+    wide_widths = (
+        [wide_width] if isinstance(wide_width, int)
+        else sorted(wide_width, reverse=True)
+    )
+    defined_at: Dict[int, List[int]] = {}
+    for index, instr in enumerate(block.instrs):
+        for reg in instr.defs():
+            defined_at.setdefault(reg.index, []).append(index)
+
+    def sole_def(reg_index: int, before: int) -> Optional[int]:
+        sites = [i for i in defined_at.get(reg_index, []) if i < before]
+        if len(sites) == 1 and len(defined_at[reg_index]) == 1:
+            return sites[0]
+        return None
+
+    # index-load block position -> its partition MemoryRef
+    index_refs: Dict[int, Tuple[Partition, MemoryRef]] = {}
+    for partition in partitions.values():
+        if partition.kind != "iv":
+            continue
+        for ref in partition.loads:
+            index_refs[ref.index] = (partition, ref)
+
+    gathers: Dict[Tuple, List[Tuple[MemoryRef, Partition, MemoryRef]]] = {}
+    for index, instr in enumerate(block.instrs):
+        if not isinstance(instr, Load) or instr.disp != 0:
+            continue
+        if getattr(instr, "unaligned", False):
+            continue
+        add_site = sole_def(instr.base.index, index)
+        if add_site is None:
+            continue
+        add = block.instrs[add_site]
+        if not isinstance(add, BinOp) or add.op != "add":
+            continue
+        if not (isinstance(add.a, Reg) and isinstance(add.b, Reg)):
+            continue
+        for x_reg, off_reg in ((add.a, add.b), (add.b, add.a)):
+            if x_reg.index in defined_at:
+                continue  # the table base must be loop-invariant
+            scaled = sole_def(off_reg.index, add_site)
+            if scaled is None:
+                continue
+            if instr.width == 1:
+                idx_site = scaled
+            else:
+                shl = block.instrs[scaled]
+                if (
+                    not isinstance(shl, BinOp) or shl.op != "shl"
+                    or not isinstance(shl.b, Const)
+                    or (1 << shl.b.value) != instr.width
+                    or not isinstance(shl.a, Reg)
+                ):
+                    continue
+                idx_site = sole_def(shl.a.index, scaled)
+                if idx_site is None:
+                    continue
+            if idx_site not in index_refs:
+                continue
+            index_partition, idx_ref = index_refs[idx_site]
+            gather = MemoryRef(index, instr, 0, instr.width)
+            key = (x_reg.index, index_partition.base.index, instr.width)
+            gathers.setdefault(key, []).append(
+                (gather, index_partition, idx_ref)
+            )
+            break
+
+    runs: List[Run] = []
+    for key, group in gathers.items():
+        group.sort(key=lambda item: item[2].disp)
+        index_partition = group[0][1]
+        width = group[0][0].width
+        iw = index_partition.refs[0].width
+        if index_partition.step <= 0 or index_partition.step % iw != 0:
+            continue
+        elems = index_partition.step // iw
+        for wide in wide_widths:
+            count = wide // width
+            if count < 2 or len(group) < count:
+                continue
+            # The lead-index modulus check is loop-invariant only when
+            # whole chunks repeat each iteration.
+            if elems % count != 0:
+                continue
+            chunks: List[List[Tuple[MemoryRef, Partition, MemoryRef]]] = []
+            chunk: List[Tuple[MemoryRef, Partition, MemoryRef]] = []
+            for item in group:
+                if chunk and item[2].disp != chunk[-1][2].disp + iw:
+                    chunk = []
+                chunk.append(item)
+                if len(chunk) == count:
+                    chunks.append(chunk)
+                    chunk = []
+            for chunk in chunks:
+                lead = chunk[0][0]
+                if lead.index != min(m[0].index for m in chunk):
+                    continue  # block order must match index order
+                idx_instr = chunk[0][2].instr
+                members = [
+                    MemoryRef(m[0].index, m[0].instr, j * width, width)
+                    for j, m in enumerate(chunk)
+                ]
+                synth = Partition(
+                    lead.instr.base, "indirect", 0, list(members),
+                    shape=AccessShape(INDIRECT, (width,)),
+                )
+                runs.append(
+                    Run(
+                        synth, members, False, width, wide,
+                        shape=AccessShape(INDIRECT, (width,)),
+                        indirect=IndirectInfo(
+                            x_base=Reg(key[0]),
+                            index_base=index_partition.base,
+                            index_step=index_partition.step,
+                            index_width=iw,
+                            index_signed=getattr(
+                                idx_instr, "signed", False
+                            ),
+                            count=count,
+                            first_disp=chunk[0][2].disp,
+                        ),
+                    )
+                )
+            if chunks:
+                break  # widest grouping wins for this gather family
     return runs

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.coalesce.partition import Run
 from repro.ir.function import BasicBlock, Function
 from repro.ir.rtl import Instr
 from repro.machine.lowering import _lower_instr
@@ -50,3 +51,42 @@ def estimate_block_cycles(
     return list_schedule(
         lower_block_copy(func, block, machine), machine
     ).cycles
+
+
+def shape_check_overhead(runs: List[Run], machine: MachineDescription) -> int:
+    """Per-iteration cost of the generalized Figure 5 machinery.
+
+    The linear preheader checks (alignment, overlap, stride
+    divisibility) execute once and amortize to nothing over the loop,
+    so the Figure 3 cycle comparison ignores them — exactly as the
+    paper does.  The indirect runs' *index-adjacency probe* is
+    different: it scans the whole index stream, O(n) work that grows
+    with the trip count just like the loop body, so it must be charged
+    per iteration.  Each iteration's share is ``elems_per_iter``
+    traversals of the probe's scan/advance pair — two index loads, two
+    ALU operations and two branches each — charged once per distinct
+    probe (the check planner emits one probe per index partition).
+
+    This is why an unforced gather never coalesces: the probe reads
+    every index element the loop itself will read, so the wide-load
+    saving can never repay it.  The evaluation applies the transform
+    under ``force`` (the paper's own methodology for measuring
+    unprofitable cases) and the simulator then reports the honest
+    outcome.
+    """
+    lat = machine.latencies
+    per_element = 2 * (
+        lat.get("load", 1) + lat.get("alu", 1) + lat.get("branch", 1)
+    )
+    seen = set()
+    cycles = 0
+    for run in runs:
+        info = run.indirect
+        if info is None:
+            continue
+        key = (info.x_base.index, info.index_base.index, run.wide_width)
+        if key in seen:
+            continue
+        seen.add(key)
+        cycles += info.elems_per_iter * per_element
+    return cycles

@@ -29,8 +29,33 @@ from repro.analysis.loops import Loop, ensure_preheader
 from repro.analysis.tripcount import TripCount
 from repro.coalesce.partition import Partition
 from repro.ir.function import BasicBlock, Function
-from repro.ir.rtl import BinOp, CondJump, Const, Instr, Jump, Reg
+from repro.ir.rtl import BinOp, CondJump, Const, Instr, Jump, Load, Reg
 from repro.opt.unroll import emit_trip_count
+
+
+@dataclass
+class IndexProbe:
+    """One index partition's generalized Figure 5 obligations.
+
+    Indirect (gather) runs are valid only when the index stream is
+    adjacent — ``idx[t+1] == idx[t] + 1`` over the main loop's range —
+    which a preheader *probe loop* verifies at run time (the SpMV
+    trick: a dense row coalesces, a scattered row falls back).  On top
+    of adjacency, the aligned wide load needs the table base wide-
+    aligned and the lead index of each chunk divisible by ``count``;
+    with adjacency established, checking the entry value of each
+    distinct chunk offset (``mod_disps``) covers every iteration.
+    """
+
+    x_base: Reg
+    index_base: Reg
+    index_width: int
+    index_signed: bool
+    elems_per_iter: int     # index elements consumed per iteration
+    count: int              # gathered elements per wide word
+    wide: int
+    mod_disps: Tuple[int, ...] = ()
+    check_x_alignment: bool = True
 
 
 @dataclass
@@ -49,18 +74,29 @@ class CheckPlan:
     # In "versioned" mode (no remainder prologue) the trip count must also
     # be divisible by the unroll factor (the paper's ``n % 4`` check).
     divisibility: Optional[int] = None
+    # Strided runs: (pointer step, wide width) pairs whose divisibility
+    # keeps the alignment check loop-invariant.  The step is a compile-
+    # time constant, so these are always statically dischargeable; they
+    # are emitted (as constant tests) only when elision is off.
+    strides: List[Tuple[int, int]] = field(default_factory=list)
+    # Indirect runs: one probe per index partition.
+    probes: List[IndexProbe] = field(default_factory=list)
     # Check keys the alias engine *could* have discharged but that are
     # being emitted anyway (check elision disabled, e.g. under fault
     # injection).  Keys: ``('alias', a, b)``,
-    # ``('alignment', base, disp % wide, wide)``, ``('divisibility',)``.
-    # The emitted branches carry this verdict in
-    # ``notes['runtime_check']['dischargeable']`` so the
+    # ``('alignment', base, disp % wide, wide)``, ``('divisibility',)``,
+    # ``('stride', step, wide)``.  The emitted branches carry this
+    # verdict in ``notes['runtime_check']['dischargeable']`` so the
     # ``redundant-runtime-check`` lint can flag them.
     dischargeable: frozenset = frozenset()
 
     @property
     def needs_trip_count(self) -> bool:
-        return bool(self.alias_pairs) or self.divisibility is not None
+        return (
+            bool(self.alias_pairs)
+            or bool(self.probes)
+            or self.divisibility is not None
+        )
 
 
 def _partition_span(
@@ -167,7 +203,18 @@ def insert_runtime_checks(
         lo_l, hi_l = spans[left.base.index]
         lo_r, hi_r = spans[right.base.index]
         pair = tuple(sorted((left.base.index, right.base.index)))
-        note = _note("alias", ("alias",) + pair, bases=pair)
+        # A span test over an affine stream is the generalized
+        # *affine-bound* check: same arithmetic, but the distance the
+        # engine failed to prove constant is symbolic, not merely
+        # unknown.
+        kind = (
+            "affine-bound"
+            if any(
+                p.shape.kind == "affine" for p in (left, right)
+            )
+            else "alias"
+        )
+        note = _note(kind, ("alias",) + pair, bases=pair)
         # Overlap iff lo_l < hi_r and lo_r < hi_l; fail on overlap, which
         # needs two branches: pass early if hi_l <= lo_r, else fail if
         # lo_l < hi_r.  Encode as two steps with an inverted first test.
@@ -195,14 +242,81 @@ def insert_runtime_checks(
         )
         steps.append((code, "ne", low_bits, Const(0), note))
 
-    # Materialize the chain.
+    seen_strides = set()
+    for step_bytes, wide_width in plan.strides:
+        # Stride divisibility (generalized Figure 5): the pointer must
+        # advance by whole wide words or the alignment proof drifts.
+        # The step is a compile-time constant, so run discovery already
+        # guaranteed this; the test is emitted — trivially true, and
+        # marked dischargeable — only when elision is off.
+        key = (step_bytes, wide_width)
+        if key in seen_strides:
+            continue
+        seen_strides.add(key)
+        code = []
+        step_reg = func.new_reg("t")
+        residue = func.new_reg("t")
+        code.append(
+            BinOp("add", step_reg, Const(abs(step_bytes)), Const(0))
+        )
+        code.append(
+            BinOp("and", residue, step_reg, Const(wide_width - 1))
+        )
+        note = _note(
+            "stride-divisibility", ("stride",) + key,
+            step=step_bytes, width=wide_width,
+        )
+        steps.append((code, "ne", residue, Const(0), note))
+
+    for probe in plan.probes:
+        if probe.check_x_alignment:
+            key = (probe.x_base.index, 0, probe.wide)
+            low_bits = func.new_reg("t")
+            code = [
+                BinOp("and", low_bits, probe.x_base, Const(probe.wide - 1))
+            ]
+            note = _note(
+                "alignment", ("alignment",) + key,
+                base=probe.x_base.index, disp=0, width=probe.wide,
+                shape="indirect",
+            )
+            steps.append((code, "ne", low_bits, Const(0), note))
+        for disp in probe.mod_disps:
+            # Lead index of the chunk at entry: with adjacency holding,
+            # ``idx[d] % count == 0`` here makes every later chunk's
+            # lead divisible too (whole chunks repeat per iteration).
+            value = func.new_reg("t")
+            residue = func.new_reg("t")
+            code = [
+                Load(
+                    value, probe.index_base, disp, probe.index_width,
+                    signed=probe.index_signed,
+                ),
+                BinOp("and", residue, value, Const(probe.count - 1)),
+            ]
+            note = _note(
+                "index-alignment",
+                ("index-alignment", probe.index_base.index, disp,
+                 probe.count),
+                base=probe.index_base.index, disp=disp,
+                count=probe.count,
+            )
+            steps.append((code, "ne", residue, Const(0), note))
+
+    # Materialize the chain.  Linear steps come first; each adjacency
+    # probe then contributes a three-block loop of its own, and LCOPY is
+    # reached only out of the last probe's exit.
     labels = [func.new_label("chk") for _ in steps]
+    probe_entry_labels = [func.new_label("probe") for _ in plan.probes]
+    first_pass_target = (
+        probe_entry_labels[0] if plan.probes else lcopy_label
+    )
     insert_at = func.block_index(loop.header)
     blocks: List[BasicBlock] = []
     for position, (code, rel, a, b, note) in enumerate(steps):
         passed = (
             labels[position + 1] if position + 1 < len(steps)
-            else lcopy_label
+            else first_pass_target
         )
         if rel.startswith("__pass__"):
             # Branch taken => this alias pair cannot overlap => skip its
@@ -211,13 +325,28 @@ def insert_runtime_checks(
             skip_to = (
                 labels[position + 2]
                 if position + 2 < len(steps)
-                else lcopy_label
+                else first_pass_target
             )
             term = CondJump(real_rel, a, b, skip_to, passed)
         else:
             term = CondJump(rel, a, b, fallback, passed)
         term.notes["runtime_check"] = note
         blocks.append(BasicBlock(labels[position], code + [term]))
+
+    for position, probe in enumerate(plan.probes):
+        assert trips is not None
+        passed = (
+            probe_entry_labels[position + 1]
+            if position + 1 < len(plan.probes)
+            else lcopy_label
+        )
+        blocks.extend(
+            _probe_blocks(
+                func, probe, probe_entry_labels[position], trips,
+                fallback, passed, loop.header,
+            )
+        )
+
     if not blocks:
         blocks = [BasicBlock(func.new_label("chk"), [Jump(lcopy_label)])]
         labels = [blocks[0].label]
@@ -225,8 +354,108 @@ def insert_runtime_checks(
     for block in reversed(blocks):
         func.blocks.insert(insert_at, block)
 
+    entry_label = labels[0] if labels else probe_entry_labels[0]
     preheader.instrs = (
         preheader.instrs[:-1] + setup + [preheader.instrs[-1]]
     )
-    preheader.retarget(loop.header, labels[0])
-    return labels[0]
+    preheader.retarget(loop.header, entry_label)
+    return entry_label
+
+
+def _probe_blocks(
+    func: Function,
+    probe: IndexProbe,
+    entry_label: str,
+    trips: Reg,
+    fallback: str,
+    passed: str,
+    loop_header: str,
+) -> List[BasicBlock]:
+    """The index-adjacency probe: a generated loop scanning the index
+    stream and bailing to the original loop on the first gap.
+
+    ::
+
+        probeN:    n     = trips << log2(elems)   # elements scanned
+                   last  = n - 1
+                   span  = last << log2(iw)
+                   limit = index_base + span      # last element's addr
+                   p     = index_base
+                   jump probeN.scan
+        probeN.scan:
+                   cur  = load.iw [p]
+                   nxt  = load.iw [p + iw]
+                   want = cur + 1
+                   br ne nxt, want -> fallback     # a gap: original loop
+        probeN.next:
+                   p = p + iw
+                   br ltu p, limit -> probeN.scan, else -> passed
+
+    The scan touches ``elems × trips`` index elements — O(n) preheader
+    work, the price of the SpMV trick; profitability charges it per
+    iteration (see ``profitability.shape_check_overhead``).
+    """
+    iw = probe.index_width
+    elems = probe.elems_per_iter
+    setup: List[Instr] = []
+    count = func.new_reg("pn")
+    if elems & (elems - 1) == 0 and elems != 1:
+        setup.append(
+            BinOp("shl", count, trips, Const(elems.bit_length() - 1))
+        )
+    elif elems == 1:
+        setup.append(BinOp("add", count, trips, Const(0)))
+    else:
+        setup.append(BinOp("mul", count, trips, Const(elems)))
+    last = func.new_reg("pn")
+    setup.append(BinOp("sub", last, count, Const(1)))
+    span = func.new_reg("pn")
+    if iw == 1:
+        span = last
+    else:
+        setup.append(
+            BinOp("shl", span, last, Const(iw.bit_length() - 1))
+        )
+    limit = func.new_reg("pl")
+    setup.append(BinOp("add", limit, probe.index_base, span))
+    cursor = func.new_reg("pp")
+    setup.append(BinOp("add", cursor, probe.index_base, Const(0)))
+
+    scan_label = func.new_label("probe")
+    next_label = func.new_label("probe")
+    current = func.new_reg("pv")
+    following = func.new_reg("pv")
+    expected = func.new_reg("pv")
+    check = CondJump("ne", following, expected, fallback, next_label)
+    check.notes["runtime_check"] = {
+        "kind": "index-adjacency",
+        "loop": loop_header,
+        "dischargeable": False,
+        "base": probe.index_base.index,
+        "count": probe.count,
+    }
+    scan = BasicBlock(
+        scan_label,
+        [
+            Load(
+                current, cursor, 0, iw, signed=probe.index_signed
+            ),
+            Load(
+                following, cursor, iw, iw, signed=probe.index_signed
+            ),
+            BinOp("add", expected, current, Const(1)),
+            check,
+        ],
+    )
+    advance = BasicBlock(
+        next_label,
+        [
+            BinOp("add", cursor, cursor, Const(iw)),
+            CondJump("ltu", cursor, limit, scan_label, passed),
+        ],
+    )
+    return [
+        BasicBlock(entry_label, setup + [Jump(scan_label)]),
+        scan,
+        advance,
+    ]

@@ -1,0 +1,173 @@
+"""Access shapes: the lattice the generalized coalescer groups by.
+
+The paper's Figure 2 only recognizes one shape — same-width references
+walking a base register in unit stride.  Everything the pipeline now
+coalesces beyond that is described by an :class:`AccessShape` drawn from
+the lattice
+
+    UnitStride  ⊏  Strided(k)  ⊏  Affine(c0 + Σ ci·vi)  ⊏
+        Indirect(base[idx[i]])  ⊏  Unknown
+
+ordered by how much the compiler still knows about the address stream:
+
+* **unit** — the stream advances exactly one element per element
+  (``|step| == width``); the classic Figure 2 case.
+* **strided** — a constant per-element gap larger than the element
+  (``dst[i] = src[2*i]``); members of one wide window coalesce into a
+  *sparse* wide load whose gap bytes are read and discarded.
+* **affine** — the base is ``root + c0 + Σ ci·vi`` with symbolic
+  factors ``vi`` (a 2-D row walk: ``m + 64*y + x``); layout inside the
+  stream is still unit/strided, but cross-stream distance is symbolic,
+  so Figure 5 checks become *affine-bound* span checks — elided when
+  the term coefficients prove alignment or disjointness statically.
+* **indirect** — the address is loaded (``x[col[k]]``); coalescing
+  needs the run-time *index-adjacency* probe (the SpMV trick).
+* **unknown** — the alias engine resolved nothing; never coalesced.
+
+A shape is ``kind`` plus an optional refinement ``param`` (the stride,
+the coefficient signature, the index scale).  ``param=None`` is the top
+of its kind: ``Strided(2) ⊑ Strided(None)`` but ``Strided(2)`` and
+``Strided(4)`` are incomparable, joining at ``Strided(None)``.  The
+join is therefore: different kinds take the higher rank, equal kinds
+keep an equal refinement and erase a disagreeing one — a finite
+join-semilattice, monotone by construction (property-tested in
+``tests/test_access_shapes.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analysis.alias.symbolic import LOAD, AddressExpr
+
+UNIT = "unit"
+STRIDED = "strided"
+AFFINE = "affine"
+INDIRECT = "indirect"
+UNKNOWN = "unknown"
+
+#: Lattice rank: strictly increasing along the chain above.
+_RANK = {UNIT: 0, STRIDED: 1, AFFINE: 2, INDIRECT: 3, UNKNOWN: 4}
+
+SHAPE_KINDS = (UNIT, STRIDED, AFFINE, INDIRECT, UNKNOWN)
+
+
+@dataclass(frozen=True)
+class AccessShape:
+    """One point of the shape lattice: ``kind`` plus refinement."""
+
+    kind: str
+    #: kind-specific refinement; ``None`` is the top of the kind.
+    #: strided: the byte stride.  affine: the sorted coefficient tuple.
+    #: indirect: the index scale (bytes per index unit).
+    param: Optional[Tuple] = None
+
+    def __post_init__(self):
+        if self.kind not in _RANK:
+            raise ValueError(f"unknown shape kind {self.kind!r}")
+
+    @property
+    def rank(self) -> int:
+        return _RANK[self.kind]
+
+    def leq(self, other: "AccessShape") -> bool:
+        """The lattice's partial order ``self ⊑ other``."""
+        if self.rank != other.rank:
+            return self.rank < other.rank
+        return self == other or other.param is None
+
+    def join(self, other: "AccessShape") -> "AccessShape":
+        """Least upper bound: higher rank wins; a refinement survives
+        only when both sides agree on it."""
+        if self.rank != other.rank:
+            return self if self.rank > other.rank else other
+        if self == other:
+            return self
+        return AccessShape(self.kind)
+
+    def __repr__(self) -> str:
+        if self.param is None:
+            return f"<{self.kind}>"
+        return f"<{self.kind} {self.param}>"
+
+
+UNIT_SHAPE = AccessShape(UNIT)
+UNKNOWN_SHAPE = AccessShape(UNKNOWN)
+
+
+def join_all(shapes) -> AccessShape:
+    """Fold :meth:`AccessShape.join` over an iterable (unit if empty)."""
+    result = UNIT_SHAPE
+    for shape in shapes:
+        result = result.join(shape)
+    return result
+
+
+def classify_address(
+    expr: Optional[AddressExpr], width: int = 1
+) -> AccessShape:
+    """The shape of the stream ``M_width[expr]``, one per expression.
+
+    Total over every expression the alias engine can produce (including
+    the unresolvable ``None``), and deterministic — each input maps to
+    exactly one shape:
+
+    * unresolved                          → unknown
+    * load-rooted or load-termed          → indirect
+    * symbolic (non-load) affine terms    → affine
+    * ``|step| == width`` (or no step)    → unit
+    * any other constant step             → strided
+    """
+    if expr is None:
+        return UNKNOWN_SHAPE
+    if expr.root.kind == LOAD:
+        return AccessShape(INDIRECT, (width,))
+    load_terms = [t for t, _ in expr.terms if t.kind == "load"]
+    if load_terms:
+        scales = tuple(
+            sorted(c for t, c in expr.terms if t.kind == "load")
+        )
+        return AccessShape(INDIRECT, scales)
+    if expr.terms:
+        return AccessShape(
+            AFFINE, tuple(sorted(c for _, c in expr.terms))
+        )
+    if expr.step == 0 or abs(expr.step) == width:
+        return UNIT_SHAPE
+    return AccessShape(STRIDED, (expr.step,))
+
+
+def classify_partition(partition, expr: Optional[AddressExpr]):
+    """Shape of one coalescer partition (see ``partition.py``).
+
+    The symbolic expression decides indirect/affine/unknown; for a
+    plain rooted stream the *layout* decides unit vs strided — an IV
+    partition whose references contiguously tile the span it advances
+    over each iteration is unit-stride, anything with gaps is strided.
+    """
+    widths = {r.width for r in partition.refs}
+    width = min(widths)
+    base_shape = classify_address(expr, width)
+    if base_shape.rank >= _RANK[AFFINE]:
+        return base_shape
+    if partition.kind == "other":
+        return UNKNOWN_SHAPE
+    if partition.kind != "iv" or partition.step == 0:
+        return UNIT_SHAPE  # a fixed cell: trivially contiguous
+    span = abs(partition.step)
+    covered = set()
+    for ref in partition.refs:
+        covered.update(
+            range(ref.disp % span, min(ref.disp % span + ref.width, span))
+        )
+    if len(covered) == span:
+        return UNIT_SHAPE
+    # Uniform single-width gaps refine the stride; mixed layouts stay
+    # the kind's top.
+    disps = sorted({r.disp for r in partition.refs})
+    if len(widths) == 1 and len(disps) > 1:
+        gaps = {b - a for a, b in zip(disps, disps[1:])}
+        if len(gaps) == 1:
+            return AccessShape(STRIDED, (gaps.pop(),))
+    return AccessShape(STRIDED)

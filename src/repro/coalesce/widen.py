@@ -107,6 +107,7 @@ def widen_run(func: Function, run: Run, machine) -> Dict[int, List[Instr]]:
             wide_reg, run.partition.base, start, wide, signed=False
         )
         wide_load.notes["coalesced"] = True
+        wide_load.notes["coalesced_shape"] = run.shape.kind
         _inherit_root_note(wide_load, run, wide)
         plan[first_ref.index] = [wide_load] + plan[first_ref.index]
         return plan
@@ -132,6 +133,7 @@ def widen_run(func: Function, run: Run, machine) -> Dict[int, List[Instr]]:
     last_ref = ordered[-1]
     wide_store = Store(run.partition.base, start, acc, wide)
     wide_store.notes["coalesced"] = True
+    wide_store.notes["coalesced_shape"] = run.shape.kind
     _inherit_root_note(wide_store, run, wide)
     plan[last_ref.index].append(wide_store)
     return plan

@@ -169,12 +169,17 @@ class Parser:
                         raise self._error(
                             "expected a parameter name", pname_token
                         )
-                    # Array parameters decay to pointers, as in C.
+                    # Array parameters decay to pointers, as in C.  Only
+                    # the outermost dimension decays: ``m[][64]`` is a
+                    # pointer to rows of 64 elements, so row arithmetic
+                    # scales by the full row size.
                     if self.accept_op("["):
                         if self.current.kind == "number":
                             self.advance()
                         self.expect_op("]")
-                        ptype = ast.PointerType(ptype)
+                        ptype = ast.PointerType(
+                            self.parse_array_suffix(ptype)
+                        )
                     params.append(
                         ast.Param(ptype, pname_token.text, param_line)
                     )

@@ -168,6 +168,17 @@ class CompiledProgram:
         )
 
     @property
+    def coalesced_by_shape(self) -> Dict[str, int]:
+        """Applied runs per access-shape lattice kind (unit/strided/...)."""
+        totals: Dict[str, int] = {}
+        for report in self.coalesce_reports:
+            if not report.applied:
+                continue
+            for kind, wins in getattr(report, "shape_wins", {}).items():
+                totals[kind] = totals.get(kind, 0) + wins
+        return totals
+
+    @property
     def degraded(self) -> bool:
         """Did any pass fail and get rolled back during compilation?"""
         return bool(self.pass_failures)

@@ -196,6 +196,31 @@ def _base_stable(
     return True
 
 
+def _has_indirect_guard(
+    func: Function,
+    idom: Dict[str, Optional[str]],
+    access_label: str,
+) -> bool:
+    """A gather's wide load is aligned by arithmetic the congruence
+    walker cannot see: table base aligned (checked or discharged), the
+    chunk's lead index divisible by the element count, and the index
+    stream adjacent.  The audit accepts the *adjacency probe* branch as
+    the guard — it is the chain's last and never-elidable link, so its
+    pass arm dominating the access puts the whole chain upstream."""
+    walk = idom.get(access_label)
+    while walk is not None:
+        block = func.block(walk)
+        term = block.instrs[-1] if block.instrs else None
+        if isinstance(term, CondJump):
+            note = term.notes.get("runtime_check") or {}
+            if note.get("kind") == "index-adjacency" and dominates(
+                idom, term.iffalse, access_label
+            ):
+                return True
+        walk = idom.get(walk)
+    return False
+
+
 def _has_alignment_guard(
     func: Function,
     reaching: ReachingDefs,
@@ -435,10 +460,27 @@ def _audit_group(
     kind = group.kind
 
     # -- alignment (Figure 5) ------------------------------------------------
-    residue = _congruence(
-        func, module, reaching, block.label, group.access_index,
-        base.index, width,
-    )
+    if access.notes.get("coalesced_shape") == "indirect":
+        # A gather's base is a data-dependent address no congruence walk
+        # can reach; its alignment rests on the generalized check chain,
+        # witnessed by the never-elidable adjacency probe.
+        if not _has_indirect_guard(func, idom, block.label):
+            sink.error(
+                "coalesce-safety",
+                f"indirect wide {kind} of {width} bytes at "
+                f"[r{base.index} + {access.disp}] is not guarded by a "
+                f"dominating index-adjacency probe",
+                location=location,
+                hint="a coalesced gather is valid only behind the "
+                     "table-alignment / index-modulus / adjacency "
+                     "check chain with an original-loop fallback",
+            )
+        residue = None
+    else:
+        residue = _congruence(
+            func, module, reaching, block.label, group.access_index,
+            base.index, width,
+        )
     if residue is not None:
         if (residue + access.disp) % width != 0:
             sink.error(
@@ -451,7 +493,8 @@ def _audit_group(
                      "only tiles starting at a wide-aligned "
                      "displacement",
             )
-    elif not _has_alignment_guard(
+    elif access.notes.get("coalesced_shape") != "indirect" \
+            and not _has_alignment_guard(
         func, reaching, idom, block.label, group.access_index,
         base.index, access.disp, width,
     ):

@@ -1,0 +1,190 @@
+"""Property tests for the access-shape lattice (``coalesce/shapes.py``).
+
+The coalescer leans on two contracts:
+
+* ``classify_address`` is *total* and deterministic over everything the
+  symbolic alias engine can produce — every expression (including the
+  unresolvable ``None``) maps to exactly one lattice point;
+* ``join`` really is the least upper bound of a finite join-semilattice
+  (commutative, associative, idempotent, monotone w.r.t. ``leq``), so
+  folding it over a partition's streams is order-independent.
+
+Rather than drawing from a randomness library, the generators below
+enumerate a structured cross-product of roots, steps, widths, and term
+signatures — a few hundred deterministic cases that cover every branch
+of the classifier.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis.alias.symbolic import (
+    CONST,
+    FRAME,
+    GLOBAL,
+    LOAD,
+    PARAM,
+    AddressExpr,
+    Root,
+    Term,
+)
+from repro.coalesce.shapes import (
+    SHAPE_KINDS,
+    UNIT_SHAPE,
+    UNKNOWN_SHAPE,
+    AccessShape,
+    classify_address,
+    join_all,
+)
+
+
+def _exprs():
+    """A deterministic sweep of engine-producible address expressions."""
+    cases = [None]
+    roots = [
+        Root(FRAME, "buf"),
+        Root(GLOBAL, "table"),
+        Root(PARAM, "3"),
+        Root(CONST),
+        Root(LOAD, "loop0:4"),
+    ]
+    term_sets = [
+        (),
+        ((Term(7, ("preh", 2)), 64),),
+        ((Term(7, ("preh", 2)), 64), (Term(9, ("preh", 5)), 8)),
+        ((Term(5, ("loop0", 1), "load"), 4),),
+        ((Term(5, ("loop0", 1), "load"), 4), (Term(7, ("preh", 2)), 64)),
+    ]
+    for root, offset, step, terms in itertools.product(
+        roots, (0, 16, -8), (0, 1, 2, 4, -4, 6, 8), term_sets
+    ):
+        cases.append(AddressExpr(root, offset, step, terms))
+    return cases
+
+
+def _shapes():
+    """Every kind at its top plus refined representatives."""
+    shapes = [AccessShape(kind) for kind in SHAPE_KINDS]
+    shapes += [
+        AccessShape("strided", (2,)),
+        AccessShape("strided", (4,)),
+        AccessShape("affine", (64,)),
+        AccessShape("affine", (8, 64)),
+        AccessShape("indirect", (2,)),
+        AccessShape("indirect", (4,)),
+    ]
+    return shapes
+
+
+class TestClassificationTotality:
+    @pytest.mark.parametrize("width", [1, 2, 4, 8])
+    def test_every_expression_classifies(self, width):
+        for expr in _exprs():
+            shape = classify_address(expr, width)
+            assert isinstance(shape, AccessShape)
+            assert shape.kind in SHAPE_KINDS
+
+    def test_classification_is_deterministic(self):
+        for expr in _exprs():
+            assert classify_address(expr, 4) == classify_address(expr, 4)
+
+    def test_branch_coverage_of_the_classifier(self):
+        """The sweep actually reaches every lattice kind."""
+        kinds = {classify_address(e, 4).kind for e in _exprs()}
+        assert kinds == set(SHAPE_KINDS)
+
+    def test_unresolved_is_unknown(self):
+        assert classify_address(None, 8) == UNKNOWN_SHAPE
+
+    def test_load_root_beats_affine_terms(self):
+        expr = AddressExpr(
+            Root(LOAD, "loop0:4"), 0, 0,
+            ((Term(7, ("preh", 2)), 64),),
+        )
+        assert classify_address(expr, 2).kind == "indirect"
+
+    def test_width_decides_unit_vs_strided(self):
+        expr = AddressExpr(Root(PARAM, "3"), 0, 2)
+        assert classify_address(expr, 2) == UNIT_SHAPE
+        assert classify_address(expr, 1).kind == "strided"
+
+
+class TestJoinSemilattice:
+    def test_idempotent(self):
+        for s in _shapes():
+            assert s.join(s) == s
+
+    def test_commutative(self):
+        for a, b in itertools.product(_shapes(), repeat=2):
+            assert a.join(b) == b.join(a)
+
+    def test_associative(self):
+        for a, b, c in itertools.product(_shapes(), repeat=3):
+            assert a.join(b).join(c) == a.join(b.join(c))
+
+    def test_join_is_an_upper_bound(self):
+        for a, b in itertools.product(_shapes(), repeat=2):
+            j = a.join(b)
+            assert a.leq(j) and b.leq(j)
+
+    def test_join_is_the_least_upper_bound(self):
+        shapes = _shapes()
+        for a, b in itertools.product(shapes, repeat=2):
+            j = a.join(b)
+            for candidate in shapes:
+                if a.leq(candidate) and b.leq(candidate):
+                    assert j.leq(candidate)
+
+    def test_monotone(self):
+        """a ⊑ b implies a ⊔ c ⊑ b ⊔ c for every c."""
+        shapes = _shapes()
+        for a, b in itertools.product(shapes, repeat=2):
+            if not a.leq(b):
+                continue
+            for c in shapes:
+                assert a.join(c).leq(b.join(c))
+
+    def test_leq_is_a_partial_order(self):
+        shapes = _shapes()
+        for a in shapes:
+            assert a.leq(a)
+        for a, b in itertools.product(shapes, repeat=2):
+            if a.leq(b) and b.leq(a):
+                assert a == b
+        for a, b, c in itertools.product(shapes, repeat=3):
+            if a.leq(b) and b.leq(c):
+                assert a.leq(c)
+
+    def test_unknown_is_top(self):
+        for s in _shapes():
+            assert s.leq(UNKNOWN_SHAPE)
+            assert s.join(UNKNOWN_SHAPE) == UNKNOWN_SHAPE
+
+    def test_unit_is_bottom(self):
+        for s in _shapes():
+            assert UNIT_SHAPE.leq(s)
+            assert s.join(UNIT_SHAPE) == s
+
+    def test_disagreeing_refinements_erase(self):
+        a = AccessShape("strided", (2,))
+        b = AccessShape("strided", (4,))
+        assert a.join(b) == AccessShape("strided")
+        assert not a.leq(b) and not b.leq(a)
+
+    def test_join_all_folds_from_unit(self):
+        assert join_all([]) == UNIT_SHAPE
+        mixed = [AccessShape("strided", (2,)), AccessShape("affine", (64,))]
+        assert join_all(mixed).kind == "affine"
+
+    def test_classified_joins_stay_classifiable(self):
+        """Joining any two classifier outputs lands on a lattice point
+        (closure: the coalescer can fold shapes without re-checking)."""
+        outputs = [classify_address(e, 4) for e in _exprs()]
+        sample = outputs[:40]
+        for a, b in itertools.product(sample, repeat=2):
+            assert a.join(b).kind in SHAPE_KINDS
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            AccessShape("diagonal")

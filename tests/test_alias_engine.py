@@ -163,7 +163,17 @@ class TestSymbolicResolution:
         )
         chains = def_use_chains(func)
         ivs = find_basic_ivs(func, loop)
-        assert resolve_loop_base(func, chains, loop, 2, ivs) is None
+        expr = resolve_loop_base(func, chains, loop, 2, ivs)
+        # A loaded pointer resolves to an index-load root: named by its
+        # load site, disjoint from nothing (verdicts against any other
+        # root stay may-alias), but stable enough for the shape
+        # classifier to call the reference indirect.
+        assert expr is not None and expr.root.kind == "load"
+        assert expr.step == 1
+        other = AddressExpr(Root("load", "elsewhere:0"))
+        assert alias_intervals(expr, 0, 1, other, 0, 1) == MAY_ALIAS
+        frame = AddressExpr(Root("frame", "slot"))
+        assert alias_intervals(expr, 0, 1, frame, 0, 1) == MAY_ALIAS
 
 
 class TestLattice:

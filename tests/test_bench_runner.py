@@ -192,7 +192,9 @@ class TestCompareGate:
     def test_missing_program_in_baseline_fails(self):
         base = self._baseline([_record(program="image_xor")])
         rows = runner.compare_runs([_record(program="mirror")], base, 2.0)
-        assert [r.status for r in rows] == ["missing"]
+        # The unmeasured baseline record surfaces as a skipped row; the
+        # unmatched current record still fails the gate as missing.
+        assert [r.status for r in rows] == ["missing", "skipped"]
         assert not runner.gate_passed(rows)
 
     def test_size_mismatch_is_missing(self):
@@ -200,14 +202,21 @@ class TestCompareGate:
         rows = runner.compare_runs(
             [_record(width=48, height=48)], base, 2.0
         )
-        assert [r.status for r in rows] == ["missing"]
+        assert [r.status for r in rows] == ["missing", "skipped"]
 
-    def test_extra_baseline_records_are_ignored(self):
+    def test_extra_baseline_records_show_as_skipped(self):
         base = self._baseline(
             [_record(), _record(program="image_xor", cycles=5)]
         )
         rows = runner.compare_runs([_record()], base, 2.0)
-        assert len(rows) == 1 and runner.gate_passed(rows)
+        assert len(rows) == 2 and runner.gate_passed(rows)
+        skipped = [r for r in rows if r.status == "skipped"]
+        assert len(skipped) == 1
+        assert skipped[0].program == "image_xor"
+        assert skipped[0].baseline_cycles == 5
+        assert skipped[0].current_cycles is None
+        table = runner.format_compare_table(rows, 2.0)
+        assert "skipped" in table and "PASS" in table
 
     def test_format_compare_table_mentions_failures(self):
         base = self._baseline([_record(cycles=1000)])

@@ -133,7 +133,10 @@ class TestRunFinding:
         runs = find_runs(partitions, 8, include_stores=True)
         assert len(runs) == 1 and runs[0].is_store
 
-    def test_gap_prevents_run(self):
+    def test_gap_becomes_sparse_run(self):
+        # A hole at disp 4 blocks the dense tile, but the three loads
+        # still share one wide window: a sparse (strided-shape) run
+        # whose wide load reads the gap bytes harmlessly.
         func, loop, block = loop_block_of(
             "func f(r0, r1, r2) {\nentry:\n    jump loop\n"
             "loop:\n    r3 = load.2s [r0]\n    r4 = load.2s [r0 + 2]\n"
@@ -142,7 +145,13 @@ class TestRunFinding:
             "    br ltu r0, r1, loop, out\nout:\n    ret r2\n}"
         )
         partitions = classify_partitions(func, loop, block)
-        assert find_runs(partitions, 8) == []
+        runs = find_runs(partitions, 8)
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.shape.kind == "strided"
+        assert run.shape.param is None  # mixed gaps: the kind's top
+        assert not run.is_store
+        assert len(run.refs) == 3
 
     def test_partial_tile_not_coalesced(self):
         # Two shorts only fill half a quadword.
