@@ -719,6 +719,15 @@ def cmd_chaos(args) -> int:
     from repro.resilience.faults import FaultPlan
     from repro.sanitize.differential import make_fixtures, run_fixture
 
+    if args.fleet:
+        return _fleet_chaos(args)
+    if not args.files:
+        print(
+            "error: chaos needs FILES (or --fleet for the fleet sweep)",
+            file=sys.stderr,
+        )
+        return 2
+
     crash_dir = args.crash_dir or tempfile.mkdtemp(prefix="repro-chaos-")
     problems = []
     checked = recovered = 0
@@ -843,10 +852,86 @@ def cmd_chaos(args) -> int:
     return 1 if problems else 0
 
 
+def _fleet_chaos(args) -> int:
+    """``chaos --fleet``: SIGKILL/SIGSTOP fleet workers under a live
+    mixed workload and fail on any lost, hung, or untyped request."""
+    from repro.errors import ReproError
+    from repro.service.fleet import run_fleet_chaos
+
+    try:
+        summary, problems = run_fleet_chaos(
+            requests=args.requests,
+            workers=args.workers,
+            seed=args.seed,
+            deadline=args.deadline,
+            kills=args.kills,
+            hangs=args.hangs,
+            socket_path=args.socket,
+            run_dir=args.run_dir,
+            crash_dir=args.crash_dir,
+            echo=(
+                (lambda m: print(f"  {m}", file=sys.stderr))
+                if args.verbose else None
+            ),
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json({**summary, "problems": problems})
+    else:
+        print(
+            f"fleet chaos: {summary['answered']}/{summary['requests']} "
+            f"requests answered, {summary['worker_restarts']} worker "
+            f"restart(s), {summary['requeued']} requeue(s), "
+            f"{summary['quarantined']} quarantine(s) "
+            f"({len(problems)} problem(s)); "
+            f"logs in {summary['run_dir']}"
+        )
+        for status, count in summary["by_status"].items():
+            print(f"  {status}: {count}")
+        for problem in problems:
+            print(f"  PROBLEM: {problem}")
+    return 1 if problems else 0
+
+
 def cmd_serve(args) -> int:
     from repro.errors import ReproError
     from repro.resilience.faults import FaultPlan
     from repro.service.server import CompileServer
+
+    if args.fleet:
+        from repro.service.fleet import FleetSupervisor
+
+        fleet = FleetSupervisor(
+            socket_path=args.socket,
+            workers=args.fleet,
+            worker_threads=args.workers,
+            queue_limit=args.queue_limit,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            default_deadline=args.default_deadline,
+            crash_dir=args.crash_dir,
+            worker_inject=args.inject or "",
+            fleet_faults=FaultPlan.parse(args.fleet_inject),
+            run_dir=args.run_dir,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            requeue_limit=args.requeue_limit,
+        )
+        print(
+            f"fleet on {fleet.socket_path}: {args.fleet} worker "
+            f"processes x {args.workers} threads "
+            f"(run dir {fleet.run_dir})",
+            file=sys.stderr,
+        )
+        try:
+            fleet.serve_forever()
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print("fleet stopped", file=sys.stderr)
+        return 0
 
     faults = FaultPlan.parse(args.inject) if args.inject else None
     server = CompileServer(
@@ -858,6 +943,9 @@ def cmd_serve(args) -> int:
         default_deadline=args.default_deadline,
         faults=faults,
         crash_dir=args.crash_dir,
+        start_delay=args.slowstart,
+        worker_id=args.worker_id,
+        exit_with_parent=args.exit_with_parent,
     )
     print(
         f"serving on {server.socket_path} "
@@ -979,6 +1067,32 @@ def cmd_status(args) -> int:
     if args.shutdown:
         print(f"shutdown: {response.get('status')}")
         return 0 if response.get("status") == "ok" else 1
+    if response.get("fleet"):
+        fleet = response["fleet"]
+        print(f"fleet on {fleet.get('socket')}")
+        for field in ("uptime_seconds", "workers", "in_flight",
+                      "accepted", "completed", "ok", "degraded",
+                      "rejected", "timeouts", "errors", "forwarded",
+                      "requeued", "quarantined", "hang_kills",
+                      "worker_restarts", "run_dir"):
+            print(f"  {field}: {fleet.get(field)}")
+        for worker in response.get("workers") or []:
+            server = worker.get("server") or {}
+            breakers = worker.get("breakers") or {}
+            open_breakers = sum(
+                1 for snap in breakers.values()
+                if snap.get("state") != "closed"
+            )
+            print(
+                f"worker {worker['index']}: {worker['state']} "
+                f"(pid {worker.get('pid')}, "
+                f"restarts {worker.get('restarts')}, "
+                f"queue {server.get('queue_depth', '-')}, "
+                f"in-flight {server.get('in_flight', '-')}, "
+                f"breakers {len(breakers)} "
+                f"({open_breakers} not closed))"
+            )
+        return 0
     server = response.get("server", {})
     print(f"server on {server.get('socket')}")
     for field in ("uptime_seconds", "workers", "queue_depth",
@@ -1257,11 +1371,48 @@ def main(argv=None) -> int:
         "chaos",
         help="inject one fault per pipeline stage and verify recovery",
     )
-    p_chaos.add_argument("files", nargs="+", help="MiniC source files")
+    p_chaos.add_argument(
+        "files", nargs="*",
+        help="MiniC source files (not used with --fleet)",
+    )
     p_chaos.add_argument(
         "--seed", type=int, default=0,
         help="decides raise-vs-corrupt per (file, stage); the sweep is "
              "fully reproducible from this value",
+    )
+    p_chaos.add_argument(
+        "--fleet", action="store_true",
+        help="fleet-level sweep instead: SIGKILL/SIGSTOP worker "
+             "processes under a live mixed workload and assert zero "
+             "lost requests",
+    )
+    p_chaos.add_argument(
+        "--requests", type=int, default=100,
+        help="--fleet: mixed-workload requests to drive (default 100)",
+    )
+    p_chaos.add_argument(
+        "--workers", type=int, default=4,
+        help="--fleet: worker processes in the fleet (default 4)",
+    )
+    p_chaos.add_argument(
+        "--deadline", type=float, default=10.0,
+        help="--fleet: per-request deadline in seconds (default 10)",
+    )
+    p_chaos.add_argument(
+        "--kills", type=int, default=3,
+        help="--fleet: seeded SIGKILL faults to plant (default 3)",
+    )
+    p_chaos.add_argument(
+        "--hangs", type=int, default=1,
+        help="--fleet: seeded SIGSTOP faults to plant (default 1)",
+    )
+    p_chaos.add_argument(
+        "--socket", default=None,
+        help="--fleet: fleet socket path (default: a fresh temp path)",
+    )
+    p_chaos.add_argument(
+        "--run-dir", default=None,
+        help="--fleet: directory for worker sockets and logs",
     )
     p_chaos.add_argument(
         "--machine", default="alpha", choices=sorted(MACHINE_NAMES),
@@ -1321,6 +1472,49 @@ def main(argv=None) -> int:
     p_serve.add_argument(
         "--crash-dir", default=None,
         help="where crash bundles land (default: cwd)",
+    )
+    p_serve.add_argument(
+        "--fleet", type=int, default=0, metavar="N",
+        help="run a supervised fleet of N worker *processes* (each a "
+             "--workers-threaded server on a private socket) behind "
+             "this socket, with crash recovery, exactly-once requeue, "
+             "and quarantine",
+    )
+    p_serve.add_argument(
+        "--fleet-inject", default=None, metavar="PLAN",
+        help="fleet-level fault plan (kill/hang/slowstart at "
+             "worker:<index> sites), e.g. 'worker:0=kill:0.1@3'",
+    )
+    p_serve.add_argument(
+        "--run-dir", default=None,
+        help="fleet only: directory for worker sockets and logs "
+             "(default: a fresh temp directory)",
+    )
+    p_serve.add_argument(
+        "--heartbeat-interval", type=float, default=0.25,
+        help="fleet only: seconds between worker heartbeat pings",
+    )
+    p_serve.add_argument(
+        "--heartbeat-timeout", type=float, default=2.0,
+        help="fleet only: unanswered-heartbeat window before a wedged "
+             "worker is SIGKILLed and restarted",
+    )
+    p_serve.add_argument(
+        "--requeue-limit", type=int, default=1,
+        help="fleet only: crashes one request may cause before it is "
+             "quarantined (default 1: requeued exactly once)",
+    )
+    p_serve.add_argument(
+        "--worker-id", type=int, default=None,
+        help=argparse.SUPPRESS,  # set by the fleet supervisor
+    )
+    p_serve.add_argument(
+        "--exit-with-parent", action="store_true",
+        help=argparse.SUPPRESS,  # set by the fleet supervisor
+    )
+    p_serve.add_argument(
+        "--slowstart", type=float, default=0.0,
+        help=argparse.SUPPRESS,  # the fleet 'slowstart' fault
     )
     p_serve.set_defaults(func=cmd_serve)
 

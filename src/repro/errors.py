@@ -138,6 +138,40 @@ class FaultInjected(ReproError):
         self.kind = kind
 
 
+class WorkerCrashed(ReproError):
+    """A fleet worker process died while holding a request.
+
+    Raised inside the fleet supervisor when a forwarded request's
+    connection is severed mid-flight (the worker exited, was signalled,
+    or was killed by the hang detector).  Transient at fleet level: the
+    supervisor restarts the worker and requeues the request once.
+    """
+
+    def __init__(self, worker: int, detail: str = ""):
+        at = f": {detail}" if detail else ""
+        super().__init__(f"worker {worker} crashed mid-request{at}")
+        self.worker = worker
+        self.detail = detail
+
+
+class QuarantinedRequest(ReproError):
+    """A request took down its worker more than once and was isolated.
+
+    The fleet answers such a request with a degraded local compile (plus
+    a crash bundle) instead of feeding it to a third worker; this error
+    is raised only when even the degraded local path cannot serve it.
+    """
+
+    def __init__(self, request_id, reason: str = ""):
+        why = f": {reason}" if reason else ""
+        super().__init__(
+            f"request {request_id!r} quarantined after repeated worker "
+            f"crashes{why}"
+        )
+        self.request_id = request_id
+        self.reason = reason
+
+
 class AlignmentTrap(SimulationError):
     """An aligned memory access was attempted at an unaligned address.
 

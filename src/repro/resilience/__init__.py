@@ -39,7 +39,12 @@ from repro.resilience.classify import (
     classify_failure,
     is_retryable,
 )
-from repro.resilience.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FLEET_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.resilience.transaction import (
     PASS_FAILURE_POLICIES,
     PassFailure,
@@ -56,6 +61,7 @@ __all__ = [
     "classify_failure",
     "is_retryable",
     "FAULT_KINDS",
+    "FLEET_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "PASS_FAILURE_POLICIES",

@@ -63,6 +63,32 @@ def _bundle_age(path: Path) -> tuple:
     return (created, mtime, path.name)
 
 
+def _rmtree_tolerant(path: Path) -> None:
+    """``shutil.rmtree`` that shrugs at files vanishing underneath it.
+
+    Two workers pruning the same crash directory race on every unlink:
+    whoever loses sees ENOENT mid-walk.  That is success (the tree is
+    going away either way), not an error.
+    """
+    import shutil
+
+    def _ignore_missing(function, failed_path, exc_info):
+        exc = exc_info if isinstance(exc_info, BaseException) else exc_info[1]
+        if isinstance(exc, FileNotFoundError):
+            return
+        raise exc
+
+    try:
+        # 3.12 deprecates onerror= in favour of onexc=.
+        import sys
+        if sys.version_info >= (3, 12):
+            shutil.rmtree(path, onexc=_ignore_missing)
+        else:
+            shutil.rmtree(path, onerror=_ignore_missing)
+    except FileNotFoundError:
+        pass
+
+
 def prune_bundles(
     directory: Union[str, Path],
     max_bundles: Optional[int] = None,
@@ -73,9 +99,12 @@ def prune_bundles(
     operational hazard (a crash-looping service writes a bundle per
     recovered failure); the cap keeps disk usage bounded while always
     retaining the newest reproducers.
-    """
-    import shutil
 
+    Safe under concurrent pruners: every fleet worker prunes after every
+    bundle write, so two prunes routinely target the same victim.  The
+    walk tolerates ENOENT at every step and a bundle only counts as
+    *removed by us* if it is actually gone afterwards.
+    """
     if max_bundles is None:
         max_bundles = default_max_bundles()
     directory = Path(directory)
@@ -88,10 +117,11 @@ def prune_bundles(
     removed = []
     for path in bundles[: max(0, len(bundles) - max_bundles)]:
         try:
-            shutil.rmtree(path)
-            removed.append(str(path))
+            _rmtree_tolerant(path)
         except OSError:
             pass  # eviction is best-effort, never a crash
+        if not path.exists():
+            removed.append(str(path))
     return removed
 
 
@@ -179,6 +209,76 @@ def write_bundle(
         "\n"
         "Pin the failing pass set and shrink the source:\n"
         f"    python -m repro bisect {bundle.name}\n"
+    )
+    tmp = bundle / "manifest.json.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(manifest, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, bundle / "manifest.json")
+    prune_bundles(directory, max_bundles)
+    return str(bundle)
+
+
+def write_quarantine_bundle(
+    request: dict,
+    reason: str,
+    directory: Union[str, Path] = ".",
+    worker: int = -1,
+    max_bundles: Optional[int] = None,
+) -> str:
+    """Serialize a request that repeatedly killed fleet workers.
+
+    A quarantined request has no :class:`PassFailure` — the process died
+    before Python could hand us one — so the bundle records the raw
+    request (``request.json``), its source, and the supervisor's account
+    of what happened.  Replay instructions still apply: the source
+    compiles standalone, which is exactly how the investigation starts.
+    """
+    source = str(request.get("source", ""))
+    blob = "\x00".join((
+        source,
+        str(request.get("machine", "")),
+        str(request.get("config", "")),
+        reason,
+    ))
+    digest = hashlib.sha256(blob.encode()).hexdigest()[:12]
+    bundle = Path(directory) / f"{BUNDLE_PREFIX}{digest}"
+    if (bundle / "manifest.json").exists():
+        return str(bundle)
+    bundle.mkdir(parents=True, exist_ok=True)
+
+    manifest = {
+        "schema": BUNDLE_SCHEMA,
+        "kind": "quarantine",
+        "machine": str(request.get("machine", "")),
+        "config": {},
+        "config_name": str(request.get("config", "")),
+        "pass": "",
+        "function": "",
+        "error_type": "QuarantinedRequest",
+        "message": reason,
+        "invocation": 0,
+        "injected": "",
+        "worker": worker,
+        "faults": str(request.get("faults", "") or ""),
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "created_unix": int(time.time()),
+    }
+    (bundle / "source.c").write_text(source)
+    (bundle / "request.json").write_text(
+        json.dumps(request, indent=1, sort_keys=True, default=str) + "\n"
+    )
+    (bundle / "README.txt").write_text(
+        f"Quarantined service request: {reason}\n"
+        "\n"
+        "This request crashed its fleet worker more than once and was\n"
+        "answered with a degraded local compile instead of a third try.\n"
+        "\n"
+        "Reproduce the crash by compiling the bundled source directly:\n"
+        f"    python -m repro compile {bundle.name}/source.c"
+        " --machine "
+        f"{request.get('machine', 'alpha')}\n"
     )
     tmp = bundle / "manifest.json.tmp"
     with open(tmp, "w") as handle:

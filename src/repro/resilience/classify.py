@@ -28,10 +28,12 @@ from repro.errors import (
     LoweringError,
     ParseError,
     PassError,
+    QuarantinedRequest,
     ReproError,
     SemanticError,
     SimulationError,
     SimulationTimeout,
+    WorkerCrashed,
 )
 
 FAILURE_CLASSES = ("retryable", "degrade", "fatal")
@@ -51,6 +53,14 @@ def classify_failure(exc: BaseException, phase: str = "compile") -> str:
     degraded recompile will not).
     """
     if isinstance(exc, DeadlineExceeded):
+        return RETRYABLE
+    if isinstance(exc, QuarantinedRequest):
+        # Two workers already died for this request; a third try is a
+        # retry storm, not resilience.
+        return FATAL
+    if isinstance(exc, WorkerCrashed):
+        # The worker died, not the request (until proven otherwise by a
+        # second crash): requeue to a restarted worker.
         return RETRYABLE
     if isinstance(exc, (ConnectionError, TimeoutError, InterruptedError)):
         return RETRYABLE

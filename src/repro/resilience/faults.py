@@ -27,6 +27,14 @@ Three fault kinds:
            compile service's per-request deadlines are exercised.
 =========  ==============================================================
 
+Plus three *fleet-level* kinds (:data:`FLEET_FAULT_KINDS`) that act on
+whole worker processes rather than passes — ``kill`` (SIGKILL a worker
+shortly after a request is dispatched to it), ``hang`` (SIGSTOP it until
+the heartbeat timeout fires), and ``slowstart`` (delay a spawning
+worker's socket bind).  They are drawn by the fleet supervisor at
+``worker:<index>`` / ``worker:<index>:spawn`` sites and are inert
+anywhere else; see :mod:`repro.service.fleet`.
+
 Plans come from the ``REPRO_FAULTS`` environment variable (picked up by
 ``compile_minic`` automatically) or the ``--inject`` CLI flag, and
 round-trip through ``str(plan)`` so a crash bundle can re-arm the exact
@@ -44,7 +52,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FaultInjected, ReproError, SimulationTimeout
 
-FAULT_KINDS = ("raise", "corrupt", "stall", "sleep")
+FAULT_KINDS = (
+    "raise", "corrupt", "stall", "sleep",
+    # Fleet-level kinds, consulted by the fleet supervisor at *worker*
+    # granularity rather than by the pass guard at pass sites:
+    "kill", "hang", "slowstart",
+)
+
+#: Kinds that act on a whole worker process instead of a pass/block.
+#: ``kill`` SIGKILLs the worker ``seconds`` after a request is
+#: dispatched to it (default 0.05 — mid-compile for anything real);
+#: ``hang`` SIGSTOPs it instead, wedging the process until the
+#: supervisor's heartbeat timeout declares it dead and SIGKILLs it;
+#: ``slowstart`` delays the worker's socket bind by ``seconds`` on
+#: spawn, exercising the supervisor's startup grace period.  Sites are
+#: ``worker:<index>`` (drawn per dispatch) and ``worker:<index>:spawn``
+#: (drawn per spawn, for ``slowstart``).
+FLEET_FAULT_KINDS = ("kill", "hang", "slowstart")
+
+#: Kinds that carry an optional ``:seconds`` amount in plan strings.
+TIMED_FAULT_KINDS = ("sleep",) + FLEET_FAULT_KINDS
 
 #: Slice width of a ``sleep`` fault: the stall is interruptible at this
 #: granularity whenever a ``cancel_check`` is installed.
@@ -76,7 +103,7 @@ class FaultSpec:
 
     def __str__(self) -> str:
         text = f"{self.site}={self.kind}"
-        if self.kind == "sleep" and self.seconds:
+        if self.kind in TIMED_FAULT_KINDS and self.seconds:
             text += f":{self.seconds:g}"
         if self.hit != 1:
             text += f"@{self.hit}"
@@ -171,10 +198,11 @@ class FaultPlan:
             else:
                 kind, at, hit = value.partition("@")
                 kind, colon, amount = kind.partition(":")
-                if colon and kind.strip() != "sleep":
+                if colon and kind.strip() not in TIMED_FAULT_KINDS:
                     raise ReproError(
-                        f"bad fault entry {entry!r}: only 'sleep' takes "
-                        "a ':seconds' amount"
+                        f"bad fault entry {entry!r}: only "
+                        f"{'/'.join(TIMED_FAULT_KINDS)} take a "
+                        "':seconds' amount"
                     )
                 specs.append(
                     FaultSpec(
@@ -249,6 +277,11 @@ class FaultPlan:
         if spec.kind == "stall":
             raise SimulationTimeout(
                 0, limit=0, function=spec.site,
+            )
+        if spec.kind in FLEET_FAULT_KINDS:
+            raise ReproError(
+                f"fault kind {spec.kind!r} is fleet-level; it only fires "
+                "at worker:<index> sites under the fleet supervisor"
             )
         raise FaultInjected(spec.site, spec.kind)
 

@@ -20,7 +20,14 @@ service:
   with exponential-backoff-plus-jitter retries for retryable failures
   (connection refused, load-shed rejections, deadline timeouts);
 * :mod:`repro.service.breaker` — the circuit-breaker state machine
-  (closed → open → half-open → closed).
+  (closed → open → half-open → closed);
+* :mod:`repro.service.fleet` + :mod:`repro.service.supervisor` —
+  ``python -m repro serve --fleet N``: a supervised multi-*process*
+  worker fleet behind one socket, sharded by (machine, config) so
+  breaker state stays per-shard, with heartbeat-based hang detection,
+  exponential-backoff restarts, exactly-once requeue of in-flight
+  requests from crashed workers, and quarantine (degraded local
+  compile + crash bundle) for requests that kill workers repeatedly.
 """
 
 from repro.service.breaker import (
@@ -29,6 +36,7 @@ from repro.service.breaker import (
     CircuitBreaker,
 )
 from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.fleet import FleetSupervisor, run_fleet_chaos
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     RETRYABLE_STATUSES,
@@ -36,16 +44,20 @@ from repro.service.protocol import (
     default_socket_path,
 )
 from repro.service.server import CompileServer
+from repro.service.supervisor import Worker
 
 __all__ = [
     "BREAKER_STATES",
     "BreakerBoard",
     "CircuitBreaker",
     "CompileServer",
+    "FleetSupervisor",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RETRYABLE_STATUSES",
     "ServiceClient",
     "ServiceUnavailable",
+    "Worker",
     "default_socket_path",
+    "run_fleet_chaos",
 ]

@@ -16,6 +16,13 @@ Backoff is exponential with full jitter (``random.uniform(0, base *
 2**attempt)``, capped), the standard recipe for decorrelating a
 thundering herd of shed clients.  The RNG is injectable for
 deterministic tests.
+
+When a request carries a ``deadline``, the retry loop is budgeted by
+it: a backoff sleep is clamped to the budget remaining, and once the
+budget is spent the loop raises :class:`ServiceUnavailable` instead of
+scheduling a retry that the server would immediately answer with
+``timeout`` (or worse, spend real compile time on a result nobody is
+still waiting for).
 """
 
 from __future__ import annotations
@@ -58,6 +65,7 @@ class ServiceClient:
         response_timeout: Optional[float] = 120.0,
         rng: Optional[random.Random] = None,
         sleep=time.sleep,
+        clock=time.monotonic,
     ):
         self.socket_path = socket_path or protocol.default_socket_path()
         self.retries = max(0, retries)
@@ -67,6 +75,7 @@ class ServiceClient:
         self.response_timeout = response_timeout
         self.rng = rng if rng is not None else random.Random()
         self.sleep = sleep
+        self.clock = clock
         self.attempts_made = 0  # across all requests, for tests/stats
         self._next_id = 0
 
@@ -97,12 +106,20 @@ class ServiceClient:
     def request(self, op: str, **fields) -> dict:
         """Send one request, retrying retryable outcomes; returns the
         final response dict.  Raises :class:`ServiceUnavailable` when the
-        retry budget runs out with only retryable outcomes seen."""
+        retry budget runs out with only retryable outcomes seen, or when
+        the request's own ``deadline`` no longer leaves room to retry
+        (no point sleeping past the instant the server would answer
+        ``timeout`` anyway)."""
         self._next_id += 1
         message = {"id": self._next_id, "op": op}
         message.update(fields)
+        deadline = message.get("deadline")
+        budget = float(deadline) if deadline is not None else None
+        started = self.clock()
         last_error = "no attempt made"
+        attempts = 0
         for attempt in range(self.retries + 1):
+            attempts += 1
             self.attempts_made += 1
             try:
                 response = self._attempt(message)
@@ -115,8 +132,18 @@ class ServiceClient:
                     "error", f"retryable status {response.get('status')!r}"
                 )
             if attempt < self.retries:
-                self.sleep(self._backoff(attempt))
-        raise ServiceUnavailable(self.retries + 1, last_error)
+                pause = self._backoff(attempt)
+                if budget is not None:
+                    remaining = budget - (self.clock() - started)
+                    if remaining <= 0:
+                        last_error = (
+                            f"deadline of {budget:g}s exhausted after "
+                            f"{attempts} attempt(s); last: {last_error}"
+                        )
+                        break
+                    pause = min(pause, remaining)
+                self.sleep(pause)
+        raise ServiceUnavailable(attempts, last_error)
 
     # -- conveniences -------------------------------------------------------
     def ping(self) -> bool:

@@ -162,6 +162,37 @@ def connect(path: str, timeout: Optional[float] = None) -> socket.socket:
     return sock
 
 
+def request_over_socket(
+    path: str,
+    message: dict,
+    timeout: Optional[float] = None,
+    connect_timeout: Optional[float] = 5.0,
+) -> Optional[dict]:
+    """One request/response round trip on a fresh connection.
+
+    The minimal client the fleet supervisor uses for worker heartbeats
+    and status scrapes (the full :class:`ServiceClient` retry loop would
+    mask exactly the failures a supervisor exists to notice).  Returns
+    the response, or ``None`` on EOF before one arrived; raises
+    ``OSError`` on connect/send failures and ``socket.timeout`` when the
+    worker goes quiet past ``timeout``.
+    """
+    sock = connect(path, timeout=connect_timeout)
+    try:
+        sock.settimeout(timeout)
+        send_message(sock, message)
+        rfile = sock.makefile("rb")
+        try:
+            return recv_message(rfile)
+        finally:
+            rfile.close()
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
 def bind(path: str, backlog: int = 64) -> socket.socket:
     """A listening server socket at ``path`` (stale sockets replaced)."""
     sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)

@@ -128,11 +128,23 @@ class CompileServer:
         cache=None,
         faults: Optional[FaultPlan] = None,
         crash_dir: Optional[str] = None,
+        start_delay: float = 0.0,
+        worker_id: Optional[int] = None,
+        exit_with_parent: bool = False,
     ):
         from repro.bench.cache import SingleFlight, default_cache
 
         self.socket_path = socket_path or protocol.default_socket_path()
         self.workers = max(1, workers)
+        # Fleet-worker knobs: 'start_delay' delays the socket bind (the
+        # 'slowstart' fleet fault), 'worker_id' tags status payloads so
+        # the supervisor can tell shards apart, and 'exit_with_parent'
+        # makes the process die when its supervisor does (orphan
+        # watchdog polling the original parent pid).
+        self.start_delay = max(0.0, start_delay)
+        self.worker_id = worker_id
+        self.exit_with_parent = exit_with_parent
+        self._parent_pid = os.getppid() if exit_with_parent else None
         self.queue_limit = max(1, queue_limit)
         self.default_deadline = default_deadline
         self.cache = cache if cache is not None else default_cache()
@@ -166,8 +178,18 @@ class CompileServer:
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
         """Bind the socket and spawn the accept + worker threads."""
+        if self.start_delay:
+            time.sleep(self.start_delay)
         self._listener = protocol.bind(self.socket_path)
         self._started_at = time.monotonic()
+        if self.exit_with_parent:
+            watchdog = threading.Thread(
+                target=self._orphan_watch,
+                name="repro-orphan-watch",
+                daemon=True,
+            )
+            watchdog.start()
+            self._threads.append(watchdog)
         accept = threading.Thread(
             target=self._accept_loop, name="repro-accept", daemon=True
         )
@@ -240,6 +262,21 @@ class CompileServer:
     @property
     def running(self) -> bool:
         return self._started_at is not None and not self._stopped.is_set()
+
+    def _orphan_watch(self) -> None:
+        """Exit hard if the supervisor that spawned us disappears.
+
+        A fleet worker with no supervisor has no one to restart it, no
+        one heartbeating it, and a socket nobody routes to; lingering
+        would leak a process per supervisor crash.  Reparenting (getppid
+        changes, typically to 1) is the portable death signal.
+        """
+        while not self._stopping.is_set():
+            if os.getppid() != self._parent_pid:
+                os._exit(0)
+            self._stopped.wait(0.5)
+            if self._stopped.is_set():
+                return
 
     # -- accept / connection handling ---------------------------------------
     def _accept_loop(self) -> None:
@@ -639,6 +676,8 @@ class CompileServer:
         return {
             "server": {
                 "socket": self.socket_path,
+                "pid": os.getpid(),
+                "worker_id": self.worker_id,
                 "uptime_seconds": round(uptime, 3),
                 "workers": self.workers,
                 "queue_depth": self._queue.qsize(),

@@ -1,0 +1,609 @@
+"""Fleet tests: sharding, supervision, crash recovery, requeue,
+quarantine, and the fleet-level chaos acceptance bar.
+
+Unit tests exercise the deterministic pieces (shard hashing, backoff
+schedule, fault-plan grammar, quarantine bundles) in-process.  Live
+tests spawn a real :class:`FleetSupervisor` with real worker
+*processes* on tmp sockets and kill them mid-compile — the same code
+paths ``python -m repro serve --fleet`` and ``chaos --fleet`` run.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience import FLEET_FAULT_KINDS, FaultPlan, FaultSpec
+from repro.resilience.bundle import (
+    BUNDLE_PREFIX,
+    prune_bundles,
+    write_quarantine_bundle,
+)
+from repro.service.client import ServiceClient, wait_until_ready
+from repro.service.fleet import (
+    FleetSupervisor,
+    build_chaos_plan,
+    build_chaos_workload,
+    run_fleet_chaos,
+    shard_index,
+    shard_key,
+)
+from repro.service.supervisor import (
+    WORKER_UP,
+    restart_backoff,
+    worker_command,
+    worker_environment,
+)
+
+DOT_SRC = """
+int dot(short *a, short *b, int n) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < n; i++)
+        s += a[i] * b[i];
+    return s;
+}
+"""
+ADD_SRC = "int add(int a, int b) { return a + b; }"
+
+
+# -- sharding ----------------------------------------------------------------
+class TestSharding:
+    def test_shard_key_compile_and_bench(self):
+        assert shard_key(
+            {"op": "compile", "machine": "alpha", "config": "vpo"}
+        ) == "alpha/vpo"
+        assert shard_key(
+            {"op": "bench", "machine": "m88100", "variant": "cc"}
+        ) == "m88100/bench:cc"
+
+    def test_shard_index_is_stable_and_in_range(self):
+        request = {"op": "compile", "machine": "alpha", "config": "vpo"}
+        first = shard_index(request, 4)
+        assert 0 <= first < 4
+        # sha256-based, so stable across calls (and across processes,
+        # which hash() is not).
+        assert all(shard_index(request, 4) == first for _ in range(10))
+
+    def test_same_key_same_worker_always(self):
+        compile_request = {
+            "op": "compile", "machine": "alpha", "config": "vpo",
+            "source": "whatever",
+        }
+        simulate_request = {
+            "op": "simulate", "machine": "alpha", "config": "vpo",
+            "source": "other", "entry": "f",
+        }
+        # Routing ignores everything but the (machine, config) key, so
+        # a simulate and a compile of the same key share breaker state.
+        assert shard_index(compile_request, 4) \
+            == shard_index(simulate_request, 4)
+
+    def test_single_worker_fleet_gets_everything(self):
+        for config in ("vpo", "cc", "coalesce-all"):
+            assert shard_index(
+                {"op": "compile", "config": config}, 1
+            ) == 0
+
+
+# -- supervisor mechanics ----------------------------------------------------
+class TestSupervisorMechanics:
+    def test_restart_backoff_doubles_to_cap(self):
+        assert restart_backoff(0, base=0.05, cap=2.0) == 0.05
+        assert restart_backoff(1, base=0.05, cap=2.0) == 0.1
+        assert restart_backoff(3, base=0.05, cap=2.0) == 0.4
+        assert restart_backoff(50, base=0.05, cap=2.0) == 2.0
+
+    def test_worker_command_shape(self):
+        argv = worker_command(
+            "/tmp/w0.sock", 3, threads=4, queue_limit=8,
+            breaker_threshold=5, default_deadline=30.0,
+            crash_dir="/tmp/crashes", inject="unroll=raise",
+        )
+        assert argv[1:4] == ["-m", "repro", "serve"]
+        assert "--worker-id" in argv and argv[argv.index("--worker-id") + 1] == "3"
+        assert "--exit-with-parent" in argv
+        assert "--breaker-threshold" in argv
+        assert "--inject" in argv
+
+    def test_worker_environment_imports_and_strips_faults(self):
+        import repro
+
+        env = worker_environment({"REPRO_FAULTS": "unroll=raise"})
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        assert package_root in env["PYTHONPATH"].split(os.pathsep)
+        # A stray environment plan would double-inject every request.
+        assert "REPRO_FAULTS" not in env
+
+
+# -- fleet fault grammar -----------------------------------------------------
+class TestFleetFaultGrammar:
+    @pytest.mark.parametrize("text", [
+        "worker:2=kill:0.1@3",
+        "worker:0=hang:0.25",
+        "worker:1:spawn=slowstart:0.5",
+    ])
+    def test_round_trip(self, text):
+        plan = FaultPlan.parse(text)
+        assert str(plan) == text
+        assert plan.specs[0].kind in FLEET_FAULT_KINDS
+
+    def test_fleet_kinds_take_seconds(self):
+        spec = FaultPlan.parse("worker:0=kill:0.2").specs[0]
+        assert spec.seconds == 0.2
+        with pytest.raises(ReproError):
+            FaultPlan.parse("unroll=raise:0.5")  # not a timed kind
+
+    def test_fleet_kinds_refuse_pass_sites(self):
+        # A fleet kind that leaks to a pass site must fail loudly, not
+        # silently no-op: the plan was written for a fleet run.
+        plan = FaultPlan.parse("worker:0=kill")
+        with pytest.raises(ReproError, match="fleet-level"):
+            plan.execute(plan.specs[0])
+
+    def test_draw_fires_on_the_named_arrival_only(self):
+        plan = FaultPlan.parse("worker:1=kill@2")
+        assert plan.draw("worker:1") is None       # arrival 1
+        assert plan.draw("worker:1").kind == "kill"  # arrival 2
+        assert plan.draw("worker:1") is None       # arrival 3
+        assert [str(s) for s in plan.fired] == ["worker:1=kill@2"]
+
+
+# -- chaos plan / workload determinism ---------------------------------------
+class TestChaosPlanning:
+    def test_workload_and_plan_are_seed_deterministic(self):
+        import random
+
+        first_workload = build_chaos_workload(random.Random(7), 40, 10.0)
+        second_workload = build_chaos_workload(random.Random(7), 40, 10.0)
+        assert first_workload == second_workload
+        first = build_chaos_plan(
+            random.Random(7), 4, first_workload, kills=3, hangs=1
+        )
+        second = build_chaos_plan(
+            random.Random(7), 4, second_workload, kills=3, hangs=1
+        )
+        assert str(first) == str(second)
+
+    def test_plan_targets_shards_that_receive_work(self):
+        import random
+
+        rng = random.Random(3)
+        workload = build_chaos_workload(rng, 60, 10.0)
+        arrivals = {}
+        for request in workload:
+            shard = shard_index(request, 4)
+            arrivals[shard] = arrivals.get(shard, 0) + 1
+        plan = build_chaos_plan(rng, 4, workload, kills=3, hangs=1)
+        assert plan.specs  # something was planted
+        for spec in plan.specs:
+            shard = int(spec.site.split(":")[1])
+            # Planted on a shard with real dispatches, at an arrival
+            # it will really reach.
+            assert arrivals.get(shard, 0) >= spec.hit
+
+    def test_workload_is_mixed(self):
+        import random
+
+        workload = build_chaos_workload(random.Random(0), 100, 10.0)
+        ops = {request["op"] for request in workload}
+        assert "compile" in ops and "simulate" in ops
+        assert any("faults" in request for request in workload)
+        assert any(
+            request["deadline"] < 10.0 for request in workload
+        )
+
+
+# -- quarantine bundles ------------------------------------------------------
+class TestQuarantineBundle:
+    REQUEST = {
+        "id": 9, "op": "compile", "source": ADD_SRC,
+        "machine": "alpha", "config": "vpo",
+    }
+
+    def test_writes_manifest_and_request(self, tmp_path):
+        bundle = Path(write_quarantine_bundle(
+            self.REQUEST, "took down worker 1 twice", tmp_path, worker=1,
+        ))
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        assert manifest["kind"] == "quarantine"
+        assert manifest["error_type"] == "QuarantinedRequest"
+        assert manifest["worker"] == 1
+        assert (bundle / "source.c").read_text() == ADD_SRC
+        replayed = json.loads((bundle / "request.json").read_text())
+        assert replayed["id"] == 9
+
+    def test_idempotent_for_the_same_failure(self, tmp_path):
+        first = write_quarantine_bundle(self.REQUEST, "reason", tmp_path)
+        second = write_quarantine_bundle(self.REQUEST, "reason", tmp_path)
+        assert first == second
+        assert len(list(tmp_path.glob(f"{BUNDLE_PREFIX}*"))) == 1
+
+
+# -- concurrent pruning (satellite) ------------------------------------------
+class TestConcurrentPrune:
+    def fake_bundle(self, directory, name, created):
+        bundle = directory / f"{BUNDLE_PREFIX}{name}"
+        bundle.mkdir(parents=True, exist_ok=True)
+        (bundle / "manifest.json").write_text(
+            json.dumps({"created_unix": created})
+        )
+        # A nested file so rmtree has a real walk to race on.
+        (bundle / "source.c").write_text("int f() { return 0; }")
+        return bundle
+
+    def test_concurrent_pruners_never_crash(self, tmp_path):
+        for index in range(12):
+            self.fake_bundle(tmp_path, f"{index:012x}", index)
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def prune():
+            barrier.wait()
+            try:
+                for _ in range(5):
+                    prune_bundles(tmp_path, max_bundles=2)
+            except Exception as exc:  # noqa: BLE001 — the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=prune) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        survivors = list(tmp_path.glob(f"{BUNDLE_PREFIX}*"))
+        assert len(survivors) == 2
+
+    def test_prune_tolerates_vanishing_bundle(self, tmp_path, monkeypatch):
+        import repro.resilience.bundle as bundle_module
+
+        victim = self.fake_bundle(tmp_path, "a" * 12, 1)
+        self.fake_bundle(tmp_path, "b" * 12, 2)
+        real_rmtree = bundle_module._rmtree_tolerant
+
+        def steal_then_remove(path):
+            # A concurrent pruner deleted the whole bundle between the
+            # glob and our rmtree.
+            if Path(path) == victim and victim.exists():
+                import shutil
+                shutil.rmtree(victim)
+            real_rmtree(path)
+
+        monkeypatch.setattr(
+            bundle_module, "_rmtree_tolerant", steal_then_remove
+        )
+        removed = prune_bundles(tmp_path, max_bundles=1)
+        assert removed == [str(victim)]
+        assert not victim.exists()
+
+
+# -- quarantine fallback (no processes needed) -------------------------------
+class TestQuarantineFallback:
+    def make_fleet(self, tmp_path):
+        # Never started: _quarantine answers in-process.
+        return FleetSupervisor(
+            socket_path=str(tmp_path / "fleet.sock"),
+            workers=2,
+            run_dir=str(tmp_path / "run"),
+            crash_dir=str(tmp_path / "crashes"),
+        )
+
+    def test_compile_is_answered_degraded_with_bundle(self, tmp_path):
+        fleet = self.make_fleet(tmp_path)
+        request = {
+            "id": 1, "op": "compile", "source": DOT_SRC,
+            "machine": "alpha", "config": "coalesce-all",
+            "faults": "cleanup=sleep:5",  # stripped in quarantine
+        }
+        response = fleet._quarantine(
+            request, time.monotonic(), 0, 2, "ConnectionError: gone"
+        )
+        assert response["status"] == "degraded"
+        assert response["quarantined"] is True
+        assert response["retryable"] is False
+        assert response["requeued"] == 1
+        assert "took down worker 0 2 time(s)" in response["quarantine_reason"]
+        bundle = Path(response["bundle"])
+        assert (bundle / "manifest.json").exists()
+        # The fallback really compiled (a real pipeline answer, not a
+        # synthesized error) — with the fast paths off.
+        assert "wall_seconds" in response
+        assert response["coalesced_loops"] == 0
+
+    def test_non_compile_op_gets_typed_fatal_error(self, tmp_path):
+        fleet = self.make_fleet(tmp_path)
+        request = {
+            "id": 2, "op": "bench", "program": "dot",
+            "machine": "alpha", "variant": "coalesce-all",
+        }
+        response = fleet._quarantine(
+            request, time.monotonic(), 1, 2, "boom"
+        )
+        assert response["status"] == "error"
+        assert response["error_type"] == "QuarantinedRequest"
+        assert response["retryable"] is False
+        assert response["quarantined"] is True
+
+
+# -- live fleet --------------------------------------------------------------
+def two_shard_keys():
+    """Two (machine, config) keys that land on different workers of a
+    2-wide fleet (found deterministically; sharding is sha256)."""
+    candidates = [
+        ("alpha", "vpo"), ("alpha", "cc"), ("alpha", "coalesce-all"),
+        ("m88100", "vpo"), ("m88100", "cc"), ("m68030", "vpo"),
+    ]
+    by_shard = {}
+    for machine, config in candidates:
+        request = {"op": "compile", "machine": machine, "config": config}
+        by_shard.setdefault(shard_index(request, 2), (machine, config))
+        if len(by_shard) == 2:
+            return by_shard[0], by_shard[1]
+    raise AssertionError("no shard split found among candidates")
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    """A factory for live fleets on tmp sockets (all stopped on exit)."""
+    fleets = []
+
+    def start(**kwargs):
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault(
+            "socket_path", str(tmp_path / f"fleet{len(fleets)}.sock")
+        )
+        kwargs.setdefault("run_dir", str(tmp_path / f"run{len(fleets)}"))
+        kwargs.setdefault("heartbeat_interval", 0.1)
+        kwargs.setdefault("heartbeat_timeout", 1.0)
+        supervisor = FleetSupervisor(**kwargs)
+        supervisor.start()
+        assert wait_until_ready(supervisor.socket_path, timeout=20.0)
+        fleets.append(supervisor)
+        return supervisor
+
+    yield start
+    for supervisor in fleets:
+        supervisor.shutdown()
+
+
+def fleet_client(supervisor, **kwargs):
+    kwargs.setdefault("retries", 5)
+    kwargs.setdefault("backoff_base", 0.02)
+    return ServiceClient(supervisor.socket_path, **kwargs)
+
+
+def wait_for(predicate, timeout=20.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestLiveFleet:
+    def test_forward_and_health_surface(self, fleet):
+        supervisor = fleet()
+        client = fleet_client(supervisor)
+        response = client.compile(ADD_SRC, config="vpo", deadline=30.0)
+        assert response["status"] == "ok"
+        expected_shard = shard_index(
+            {"op": "compile", "machine": "alpha", "config": "vpo"}, 2
+        )
+        assert response["worker"] == expected_shard
+
+        # The fleet socket answers before every worker has booted;
+        # the monitor flips each to 'up' on its first heartbeat.
+        assert wait_for(lambda: all(
+            worker.state == WORKER_UP
+            for worker in supervisor._workers
+        ))
+        status = client.status()
+        assert status["fleet"]["workers"] == 2
+        assert status["fleet"]["forwarded"] >= 1
+        assert status["fleet"]["in_flight"] == 0
+        assert len(status["workers"]) == 2
+        for worker in status["workers"]:
+            assert worker["state"] == WORKER_UP
+            # The scrape reaches through to each worker's own server.
+            assert worker["server"]["pid"] == worker["pid"]
+            assert worker["server"]["worker_id"] == worker["index"]
+
+    def test_ping_identifies_the_fleet(self, fleet):
+        supervisor = fleet()
+        response = fleet_client(supervisor).request("ping")
+        assert response["status"] == "ok"
+        assert response["fleet"] is True
+
+    def test_kill_mid_compile_requeues_exactly_once(self, fleet):
+        request_key = {
+            "op": "compile", "machine": "alpha", "config": "vpo",
+        }
+        shard = shard_index(request_key, 2)
+        supervisor = fleet(fleet_faults=FaultPlan(
+            [FaultSpec(f"worker:{shard}", "kill", hit=1, seconds=0.05)]
+        ))
+        client = fleet_client(supervisor)
+        # The sleep fault holds the worker mid-compile so the armed
+        # SIGKILL lands on a request genuinely in flight.
+        response = client.compile(
+            ADD_SRC, config="vpo", deadline=60.0,
+            faults="cleanup=sleep:0.5",
+        )
+        assert response["status"] == "ok", response
+        assert response["requeued"] == 1
+        assert response["worker"] == shard
+        counts = supervisor.stats.snapshot()
+        assert counts["requeued"] == 1
+        assert counts["quarantined"] == 0
+        # The killed worker really was restarted.
+        assert supervisor._workers[shard].restarts >= 1
+
+    def test_request_that_kills_twice_is_quarantined(self, fleet, tmp_path):
+        request_key = {
+            "op": "compile", "machine": "alpha", "config": "vpo",
+        }
+        shard = shard_index(request_key, 2)
+        crash_dir = tmp_path / "crashes"
+        supervisor = fleet(
+            crash_dir=str(crash_dir),
+            fleet_faults=FaultPlan([
+                FaultSpec(f"worker:{shard}", "kill", hit=1, seconds=0.05),
+                FaultSpec(f"worker:{shard}", "kill", hit=2, seconds=0.05),
+            ]),
+        )
+        client = fleet_client(supervisor)
+        response = client.compile(
+            DOT_SRC, config="vpo", deadline=60.0,
+            faults="cleanup=sleep:0.5",
+        )
+        # Both lives died holding this request: answered by the
+        # supervisor's degraded local fallback, flagged radioactive.
+        assert response["status"] == "degraded", response
+        assert response["quarantined"] is True
+        assert response["retryable"] is False
+        assert response["requeued"] == 1
+        bundle = Path(response["bundle"])
+        assert (bundle / "request.json").exists()
+        counts = supervisor.stats.snapshot()
+        assert counts["quarantined"] == 1
+
+    def test_requeued_attempt_inherits_remaining_deadline(self, fleet):
+        request_key = {
+            "op": "compile", "machine": "alpha", "config": "vpo",
+        }
+        shard = shard_index(request_key, 2)
+        supervisor = fleet(fleet_faults=FaultPlan(
+            [FaultSpec(f"worker:{shard}", "kill", hit=1, seconds=0.5)]
+        ))
+        from repro.service.protocol import request_over_socket
+
+        began = time.monotonic()
+        # 2.0s budget; the first attempt dies at ~0.5s, so the requeued
+        # attempt inherits < 1.5s — not enough for its 1.5s stall.  A
+        # fresh budget per attempt would let it finish 'ok'.  (Raw
+        # protocol, not ServiceClient: a timeout answer is retryable
+        # and the client would turn it into ServiceUnavailable.)
+        response = request_over_socket(
+            supervisor.socket_path,
+            {
+                "id": 1, "op": "compile", "source": ADD_SRC,
+                "machine": "alpha", "config": "vpo", "deadline": 2.0,
+                "faults": "cleanup=sleep:1.5",
+            },
+            timeout=30.0,
+        )
+        elapsed = time.monotonic() - began
+        assert response["status"] == "timeout", response
+        assert response.get("requeued", 0) >= 0  # present on both paths
+        # The inherited budget also bounds wall clock: well under the
+        # 1.5s-stall-times-two a per-attempt reset would allow, plus
+        # restart slack.
+        assert elapsed < 2 * 2.0 + 5.0
+
+    def test_hang_is_detected_and_recovered(self, fleet):
+        request_key = {
+            "op": "compile", "machine": "alpha", "config": "vpo",
+        }
+        shard = shard_index(request_key, 2)
+        supervisor = fleet(
+            heartbeat_timeout=0.8,
+            fleet_faults=FaultPlan(
+                [FaultSpec(f"worker:{shard}", "hang", hit=1,
+                           seconds=0.05)]
+            ),
+        )
+        client = fleet_client(supervisor)
+        response = client.compile(
+            ADD_SRC, config="vpo", deadline=60.0,
+            faults="cleanup=sleep:0.5",
+        )
+        # SIGSTOP wedges the worker; heartbeats go quiet; the monitor
+        # SIGKILLs it; the severed connection takes the requeue path.
+        assert response["status"] == "ok", response
+        assert response["requeued"] == 1
+        assert supervisor.stats.snapshot()["hang_kills"] >= 1
+
+    def test_breaker_state_survives_on_untouched_shards(self, fleet):
+        (machine_a, config_a), (machine_b, config_b) = two_shard_keys()
+        shard_a = shard_index(
+            {"op": "compile", "machine": machine_a, "config": config_a}, 2
+        )
+        shard_b = 1 - shard_a
+        supervisor = fleet(
+            breaker_threshold=2, breaker_cooldown=120.0,
+        )
+        client = fleet_client(supervisor)
+
+        # Open the breaker for key A on worker A (two injected
+        # failures, then a pre-emptively degraded answer).
+        for _ in range(2):
+            response = client.compile(
+                DOT_SRC, machine=machine_a, config=config_a,
+                deadline=60.0, faults="cleanup=raise",
+            )
+            assert response["status"] == "degraded"
+        opened = client.compile(
+            DOT_SRC, machine=machine_a, config=config_a, deadline=60.0,
+        )
+        assert opened["breaker"] == "open"
+
+        # Kill worker B outright; wait for its replacement.
+        victim_pid = supervisor._workers[shard_b].pid
+        os.kill(victim_pid, signal.SIGKILL)
+        assert wait_for(
+            lambda: supervisor._workers[shard_b].restarts >= 1
+            and supervisor._workers[shard_b].state == WORKER_UP
+            and supervisor._workers[shard_b].pid != victim_pid
+        )
+
+        # Worker A never died, so key A's breaker is still open...
+        still_open = client.compile(
+            DOT_SRC, machine=machine_a, config=config_a, deadline=60.0,
+        )
+        assert still_open["breaker"] == "open"
+        assert supervisor._workers[shard_a].restarts == 0
+        # ...while key B is served full-fidelity by the fresh worker.
+        fresh = client.compile(
+            ADD_SRC, machine=machine_b, config=config_b, deadline=60.0,
+        )
+        assert fresh["status"] == "ok"
+        assert fresh["worker"] == shard_b
+
+
+class TestFleetChaosAcceptance:
+    """The ISSUE's fleet-level robustness bar: >= 100 mixed requests
+    against a 4-worker fleet with seeded SIGKILLs and SIGSTOPs — every
+    request terminally answered, nothing lost or hung past 2x its
+    deadline, killed workers restarted, untouched shards undisturbed."""
+
+    def test_hundred_requests_with_kills_and_hangs(self, tmp_path):
+        summary, problems = run_fleet_chaos(
+            requests=100,
+            workers=4,
+            seed=1,
+            deadline=20.0,
+            kills=3,
+            hangs=1,
+            run_dir=str(tmp_path / "chaos-run"),
+            crash_dir=str(tmp_path / "chaos-crashes"),
+        )
+        assert problems == [], (problems, summary)
+        assert summary["answered"] == 100
+        # The sweep must have actually drawn blood to prove anything.
+        assert summary["faults_fired"], summary
+        assert summary["worker_restarts"] >= 1
+        served = (
+            summary["by_status"].get("ok", 0)
+            + summary["by_status"].get("degraded", 0)
+        )
+        assert served >= 80  # the vast majority served, not timed out
+        # The supervisor log is the post-mortem artifact CI uploads.
+        log_text = Path(summary["supervisor_log"]).read_text()
+        assert "spawned pid" in log_text

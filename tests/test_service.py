@@ -245,6 +245,63 @@ class TestCircuitBreaker:
         assert snap["consecutive_failures"] == 1
         assert snap["bad_passes"] == ["coalesce"]
 
+    def test_half_open_concurrent_probes_admit_exactly_one(self):
+        # Eight threads hit the cooled-down breaker at once: the probe
+        # slot must admit exactly one (the rest serve degraded), with
+        # no torn state transition.
+        breaker, clock = self.make(threshold=1, cooldown=1.0)
+        breaker.record_failure(("coalesce",))
+        clock.now += 2.0
+        modes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def race():
+            barrier.wait()
+            mode = breaker.acquire()
+            with lock:
+                modes.append(mode)
+
+        threads = [threading.Thread(target=race) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert modes.count(MODE_PROBE) == 1
+        assert modes.count(MODE_DEGRADED) == 7
+        assert breaker.state == HALF_OPEN
+        # The lone probe's verdict still decides the transition.
+        breaker.record_success(probe=True)
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_failure_under_concurrency_reopens(self):
+        breaker, clock = self.make(threshold=1, cooldown=1.0)
+        breaker.record_failure(("coalesce",))
+        clock.now += 2.0
+        barrier = threading.Barrier(6)
+        modes = []
+        lock = threading.Lock()
+
+        def race():
+            barrier.wait()
+            mode = breaker.acquire()
+            with lock:
+                modes.append(mode)
+            if mode == MODE_PROBE:
+                breaker.record_failure(("coalesce",), probe=True)
+
+        threads = [threading.Thread(target=race) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert modes.count(MODE_PROBE) == 1
+        assert breaker.state == OPEN
+        # Cooldown restarted by the failed probe; degrade until then.
+        assert breaker.acquire() == MODE_DEGRADED
+        clock.now += 2.0
+        assert breaker.acquire() == MODE_PROBE
+
     def test_board_keys_by_machine_and_config(self):
         board = BreakerBoard(clock=FakeClock())
         a = board.get("alpha", "vpo")
@@ -434,6 +491,58 @@ class TestLoadShedding:
         delays = [client._backoff(attempt) for attempt in range(8)]
         assert all(0 <= d <= 0.5 for d in delays)
         assert len(set(delays)) > 1  # jittered, not a fixed schedule
+
+    def budgeted_client(self, tmp_path, **kwargs):
+        """A client against a dead socket with a fake clock advanced
+        only by its own sleeps, so the retry schedule is observable."""
+        import random
+
+        clock = FakeClock()
+        sleeps = []
+
+        def fake_sleep(pause):
+            sleeps.append(pause)
+            clock.now += pause
+
+        kwargs.setdefault("retries", 10)
+        kwargs.setdefault("backoff_base", 0.4)
+        kwargs.setdefault("backoff_cap", 5.0)
+        client = ServiceClient(
+            str(tmp_path / "nobody-home.sock"),
+            rng=random.Random(0), sleep=fake_sleep, clock=clock,
+            **kwargs,
+        )
+        return client, sleeps
+
+    def test_backoff_never_sleeps_past_the_deadline(self, tmp_path):
+        # A request with a 1s budget must not schedule sleeps that
+        # overshoot it: the server would answer 'timeout' anyway, and
+        # the caller has long stopped waiting.
+        client, sleeps = self.budgeted_client(tmp_path)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.request("compile", source=ADD_SRC, deadline=1.0)
+        assert "deadline of 1s exhausted" in str(excinfo.value)
+        assert sum(sleeps) <= 1.0 + 1e-9
+        # The budget, not the retry count, ended the loop.
+        assert excinfo.value.attempts < 11
+
+    def test_final_sleep_is_clamped_to_the_remaining_budget(self, tmp_path):
+        client, sleeps = self.budgeted_client(
+            tmp_path, backoff_base=0.75, backoff_cap=10.0,
+        )
+        with pytest.raises(ServiceUnavailable):
+            client.request("compile", source=ADD_SRC, deadline=1.0)
+        budget_left = 1.0
+        for pause in sleeps:
+            assert pause <= budget_left + 1e-9
+            budget_left -= pause
+
+    def test_unbudgeted_requests_keep_the_full_retry_schedule(self, tmp_path):
+        client, sleeps = self.budgeted_client(tmp_path, retries=4)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.request("ping")  # no deadline field
+        assert excinfo.value.attempts == 5
+        assert len(sleeps) == 4  # one sleep between each attempt pair
 
 
 class TestDeadlines:
