@@ -721,9 +721,12 @@ def cmd_chaos(args) -> int:
 
     if args.fleet:
         return _fleet_chaos(args)
+    if args.disk:
+        return _disk_chaos(args)
     if not args.files:
         print(
-            "error: chaos needs FILES (or --fleet for the fleet sweep)",
+            "error: chaos needs FILES (or --fleet / --disk for the "
+            "service-level sweeps)",
             file=sys.stderr,
         )
         return 2
@@ -895,6 +898,61 @@ def _fleet_chaos(args) -> int:
     return 1 if problems else 0
 
 
+def _disk_chaos(args) -> int:
+    """``chaos --disk``: seeded disk faults against a shared artifact
+    cache under a live fleet; fail on any duplicate compile, corrupt
+    artifact served, lost request, or unmatched lease steal."""
+    from repro.errors import ReproError
+    from repro.service.fleet import run_disk_chaos
+
+    try:
+        summary, problems = run_disk_chaos(
+            requests=args.requests,
+            workers=args.workers,
+            seed=args.seed,
+            deadline=args.deadline,
+            kills=args.kills,
+            rate=args.rate,
+            socket_path=args.socket,
+            run_dir=args.run_dir,
+            crash_dir=args.crash_dir,
+            lease_ttl=args.lease_ttl,
+            echo=(
+                (lambda m: print(f"  {m}", file=sys.stderr))
+                if args.verbose else None
+            ),
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json({**summary, "problems": problems})
+    else:
+        cache = summary["cache"]
+        print(
+            f"disk chaos: {summary['answered']}/{summary['requests']} "
+            f"requests answered, {summary['worker_restarts']} worker "
+            f"restart(s) ({len(problems)} problem(s)); "
+            f"logs in {summary['run_dir']}"
+        )
+        print(
+            f"  cache: {cache['publishes']} publish(es), "
+            f"{cache['dedup_hits']} dedup hit(s), "
+            f"{cache['steals']} steal(s), "
+            f"{cache['corruption_drops']} corruption drop(s), "
+            f"{cache['torn_publishes']} torn, "
+            f"{cache['fenced_publishes']} fenced, "
+            f"{cache['disk_errors']} disk error(s), "
+            f"{cache['fallbacks']} fallback(s), "
+            f"{cache['faults_injected']} fault(s) injected"
+        )
+        for status, count in summary["by_status"].items():
+            print(f"  {status}: {count}")
+        for problem in problems:
+            print(f"  PROBLEM: {problem}")
+    return 1 if problems else 0
+
+
 def cmd_serve(args) -> int:
     from repro.errors import ReproError
     from repro.resilience.faults import FaultPlan
@@ -918,6 +976,8 @@ def cmd_serve(args) -> int:
             heartbeat_interval=args.heartbeat_interval,
             heartbeat_timeout=args.heartbeat_timeout,
             requeue_limit=args.requeue_limit,
+            cache_dir=args.cache_dir,
+            lease_ttl=args.lease_ttl,
         )
         print(
             f"fleet on {fleet.socket_path}: {args.fleet} worker "
@@ -946,6 +1006,8 @@ def cmd_serve(args) -> int:
         start_delay=args.slowstart,
         worker_id=args.worker_id,
         exit_with_parent=args.exit_with_parent,
+        cache_dir=args.cache_dir,
+        lease_ttl=args.lease_ttl,
     )
     print(
         f"serving on {server.socket_path} "
@@ -1047,6 +1109,21 @@ def cmd_submit(args) -> int:
     return 0 if response.get("status") in ("ok", "degraded") else 1
 
 
+def _format_latency(snapshot) -> str:
+    """'p50 12.3ms / p90 40.0ms / p99 80.1ms (37 in window)' or ''."""
+    if not snapshot or not snapshot.get("count"):
+        return ""
+    parts = []
+    for quantile in ("p50", "p90", "p99"):
+        value = snapshot.get(quantile)
+        if value is None:
+            return ""
+        parts.append(f"{quantile} {value * 1000.0:.1f}ms")
+    return (
+        " / ".join(parts) + f" ({snapshot.get('window', 0)} in window)"
+    )
+
+
 def cmd_status(args) -> int:
     import json
 
@@ -1076,6 +1153,14 @@ def cmd_status(args) -> int:
                       "requeued", "quarantined", "hang_kills",
                       "worker_restarts", "run_dir"):
             print(f"  {field}: {fleet.get(field)}")
+        cache = response.get("cache")
+        if cache:
+            print(
+                f"  cache: {cache.get('dedup_hits', 0)} dedup hit(s), "
+                f"{cache.get('steals', 0)} steal(s), "
+                f"{cache.get('corruption_drops', 0)} corruption "
+                f"drop(s)"
+            )
         for worker in response.get("workers") or []:
             server = worker.get("server") or {}
             breakers = worker.get("breakers") or {}
@@ -1092,6 +1177,9 @@ def cmd_status(args) -> int:
                 f"breakers {len(breakers)} "
                 f"({open_breakers} not closed))"
             )
+            latency = _format_latency(worker.get("latency"))
+            if latency:
+                print(f"  latency: {latency}")
         return 0
     server = response.get("server", {})
     print(f"server on {server.get('socket')}")
@@ -1116,6 +1204,9 @@ def cmd_status(args) -> int:
         )
     print(f"single-flight shared compiles: "
           f"{response.get('single_flight_shared', 0)}")
+    latency = _format_latency(response.get("latency"))
+    if latency:
+        print(f"latency: {latency}")
     return 0
 
 
@@ -1140,6 +1231,24 @@ def cmd_cache(args) -> int:
         print(f"  entries:   {stats['entries']}")
         print(f"  bytes:     {stats['bytes']}")
         print(f"  max bytes: {cap if cap is not None else 'unlimited'}")
+        print(f"  lease ttl: {stats['lease_ttl']:g}s")
+        # The durable journal's fleet-wide view: dedup_hits are reads
+        # that saved another process's compile; steals are crashed or
+        # stalled holders whose lease a waiter took over.
+        print(
+            f"  journal:   {stats['log_hits']} hit(s), "
+            f"{stats['dedup_hits']} dedup, "
+            f"{stats['compiles']} compile(s), "
+            f"{stats['publishes']} publish(es)"
+        )
+        print(
+            f"  incidents: {stats['steals']} steal(s), "
+            f"{stats['fenced_publishes']} fenced, "
+            f"{stats['torn_publishes']} torn, "
+            f"{stats['corruption_drops']} corruption drop(s), "
+            f"{stats['disk_errors']} disk error(s), "
+            f"{stats['fallbacks']} fallback(s)"
+        )
     return 0
 
 
@@ -1387,6 +1496,23 @@ def main(argv=None) -> int:
              "lost requests",
     )
     p_chaos.add_argument(
+        "--disk", action="store_true",
+        help="disk-fault sweep instead: batter a shared artifact "
+             "cache (torn writes, corrupt artifacts, silent leases, "
+             "steal races, ENOSPC) under a live fleet and audit the "
+             "exactly-once cross-process dedup contract",
+    )
+    p_chaos.add_argument(
+        "--rate", type=float, default=0.08,
+        help="--disk: per-arrival probability of the seeded disk "
+             "fault sweep (default 0.08)",
+    )
+    p_chaos.add_argument(
+        "--lease-ttl", type=float, default=1.0,
+        help="--disk: artifact lease TTL in seconds (default 1.0; "
+             "short, so stale-lease steals happen within the run)",
+    )
+    p_chaos.add_argument(
         "--requests", type=int, default=100,
         help="--fleet: mixed-workload requests to drive (default 100)",
     )
@@ -1400,7 +1526,8 @@ def main(argv=None) -> int:
     )
     p_chaos.add_argument(
         "--kills", type=int, default=3,
-        help="--fleet: seeded SIGKILL faults to plant (default 3)",
+        help="--fleet/--disk: seeded SIGKILL faults to plant "
+             "(default 3)",
     )
     p_chaos.add_argument(
         "--hangs", type=int, default=1,
@@ -1472,6 +1599,18 @@ def main(argv=None) -> int:
     p_serve.add_argument(
         "--crash-dir", default=None,
         help="where crash bundles land (default: cwd)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None,
+        help="compile-cache directory (default: REPRO_CACHE_DIR or "
+             "~/.cache/repro-compile); fleet workers share it, so "
+             "cross-process lease dedup spans the whole fleet",
+    )
+    p_serve.add_argument(
+        "--lease-ttl", type=float, default=None,
+        help="artifact lease TTL in seconds (default: REPRO_LEASE_TTL "
+             "or 5.0) — how long a silent compile holder may go "
+             "without a heartbeat before waiters steal its lease",
     )
     p_serve.add_argument(
         "--fleet", type=int, default=0, metavar="N",

@@ -17,10 +17,17 @@ A cache entry is keyed by the SHA-256 of four things:
   ``frontend``, ``ir``, ``analysis``, ``opt``, ``coalesce``, ``machine``
   and ``sched`` packages), so editing any pass invalidates every entry.
 
-Entries are JSON files written atomically (temp file + ``os.replace``);
-a corrupted or stale entry is treated as a miss and deleted.  The cache
-lives in ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-compile``) and
-is disabled entirely by ``REPRO_CACHE=off``.
+Storage is delegated to the crash-safe content-addressed
+:class:`repro.service.artifacts.ArtifactStore`: entries are written to
+a temp file, fsync'd, and hardlinked into place (link-once — an
+existing entry is never replaced), framed by an integrity header whose
+length and SHA-256 every read re-verifies.  A corrupted or stale entry
+is treated as a miss and deleted; any ``OSError`` on the read or write
+path (disk full, permissions, a yanked directory) logs a diagnostic
+and bypasses the cache — the compile itself never fails because of
+cache I/O.  The cache lives in ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro-compile``) and is disabled entirely by
+``REPRO_CACHE=off``.
 
 Disk usage is bounded: the cache holds at most ``max_bytes``
 (``REPRO_CACHE_MAX_BYTES``, default 256 MiB) of entries, pruned
@@ -31,7 +38,14 @@ inspects the store, ``--clear`` empties it.
 :class:`SingleFlight` collapses *in-flight* duplicates: when several
 threads (the compile service's worker pool) request the same cache key
 at once, one thread compiles and the rest wait and share its result
-instead of compiling the same source N times in parallel.
+instead of compiling the same source N times in parallel.  Across
+*processes* (the fleet's workers, CI shards, a human running ``bench``)
+the same guarantee comes from the artifact store's lease protocol:
+``cached_compile_minic`` runs the whole miss path through
+``ArtifactStore.fetch_or_compute``, so the first process to reach a
+cold key compiles it while the rest block-with-deadline on its lease
+and read the published artifact — or, if the holder dies, steal the
+lease (fencing-token rule, DESIGN.md §8b) and compile in its place.
 """
 
 from __future__ import annotations
@@ -39,7 +53,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import threading
 from dataclasses import asdict
 from functools import lru_cache
@@ -47,6 +60,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.coalesce import CoalesceReport
+from repro.errors import ReproError
 from repro.ir.printer import format_module
 from repro.machine import MachineDescription, get_machine
 from repro.pipeline import (
@@ -130,7 +144,12 @@ class CompileCache:
     Corruption is expected (interrupted writers, disk-full truncation,
     concurrent benchmark workers): a torn or schema-mismatched entry is
     logged to the diagnostic ``sink``, deleted, and treated as a miss —
-    never a crash, never a stale program.
+    never a crash, never a stale program.  The bytes on disk belong to
+    an :class:`~repro.service.artifacts.ArtifactStore` (``.artifacts``),
+    which adds the integrity framing, the link-once publish, the lease
+    protocol, and the durable cross-process event journal behind the
+    ``hit``/``dedup``/``steal``/``corruption`` counters in
+    :meth:`stats`.
     """
 
     def __init__(
@@ -138,7 +157,11 @@ class CompileCache:
         directory: Union[str, Path, None] = None,
         sink=None,
         max_bytes: Union[int, None] = -1,
+        lease_ttl: Optional[float] = None,
+        faults=None,
     ):
+        from repro.service.artifacts import ArtifactStore
+
         if directory is None:
             directory = os.environ.get("REPRO_CACHE_DIR") or (
                 Path.home() / ".cache" / "repro-compile"
@@ -154,83 +177,65 @@ class CompileCache:
 
             sink = DiagnosticSink()
         self.sink = sink
+        self.artifacts = ArtifactStore(
+            self.directory, ttl=lease_ttl, sink=sink, faults=faults,
+        )
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def _report_corrupt(self, path: Path, reason: str) -> None:
-        try:
-            self.sink.warning(
-                "compile-cache",
-                f"dropping corrupt cache entry {path.name}: {reason}",
-                hint="the entry is recompiled; if this recurs, delete "
-                     "the cache directory (REPRO_CACHE_DIR)",
-            )
-        except Exception:  # noqa: BLE001 — reporting must never break a miss
-            pass
+    @staticmethod
+    def validate_payload(payload) -> dict:
+        """Shape-check a decoded payload; raises ``ValueError``.
+
+        A truncated-then-concatenated or hand-edited entry can be valid
+        JSON yet still unusable; check shape before reviving.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("payload is not an object")
+        if payload.get("schema") != CACHE_SCHEMA:
+            raise ValueError("schema mismatch")
+        if not isinstance(payload.get("module"), str):
+            raise ValueError("missing or non-text 'module' field")
+        if not isinstance(payload.get("machine"), str):
+            raise ValueError("missing or non-text 'machine' field")
+        return payload
 
     # -- raw payload access -------------------------------------------------
     def lookup(self, key: str) -> Optional[dict]:
         """The stored payload for ``key``, or None (corrupt files are
         removed, logged, and reported as misses)."""
-        path = self._path(key)
-        try:
-            with open(path) as handle:
-                payload = json.load(handle)
-            if not isinstance(payload, dict):
-                raise ValueError("payload is not an object")
-            if payload.get("schema") != CACHE_SCHEMA:
-                raise ValueError("schema mismatch")
-            # A truncated-then-concatenated or hand-edited entry can be
-            # valid JSON yet still unusable; check shape before reviving.
-            if not isinstance(payload.get("module"), str):
-                raise ValueError("missing or non-text 'module' field")
-            if not isinstance(payload.get("machine"), str):
-                raise ValueError("missing or non-text 'machine' field")
-        except FileNotFoundError:
+        data = self.artifacts.read(key)  # integrity-verified or dropped
+        if data is None:
             self.misses += 1
             return None
-        except (ValueError, OSError) as exc:
-            # Corrupted or unreadable entry: drop it and recompile.
+        try:
+            payload = self.validate_payload(json.loads(data))
+        except ValueError as exc:
             self.misses += 1
-            self._report_corrupt(path, str(exc))
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self.artifacts.drop(key, str(exc))
             return None
         self.hits += 1
-        try:
-            os.utime(path)  # refresh recency: eviction is LRU, not FIFO
-        except OSError:
-            pass
+        self.artifacts.note_hit(key)  # journal + refresh LRU recency
         return payload
 
     def store(self, key: str, payload: dict) -> None:
-        """Atomically persist ``payload``; I/O failures are non-fatal.
+        """Durably persist ``payload``; I/O failures are non-fatal.
 
-        The temp file is flushed and fsync'd before the rename, so a
-        crash mid-store leaves either no entry or a complete one — a
-        reader can never observe a half-written payload under the final
-        name.
+        The temp file is flushed and fsync'd before being hardlinked
+        into place, so a crash mid-store leaves either no entry or a
+        complete one — a reader can never observe a half-written
+        payload under the final name, and the integrity header catches
+        anything that slips through anyway.  Link-once means a racing
+        writer's complete entry is kept rather than replaced.
         """
         try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=str(self.directory), suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(payload, handle)
-                    handle.flush()
-                    os.fsync(handle.fileno())
-                os.replace(tmp, self._path(key))
-            except BaseException:
-                os.unlink(tmp)
-                raise
+            data = json.dumps(payload).encode()
+        except (TypeError, ValueError):
+            return
+        status = self.artifacts.publish(key, data)
+        if status != "error":
             self.prune()
-        except OSError:
-            pass
 
     def prune(self, max_bytes: Union[int, None] = -1) -> int:
         """Evict oldest-mtime entries until the store fits ``max_bytes``
@@ -268,7 +273,11 @@ class CompileCache:
         return evicted
 
     def stats(self) -> Dict[str, object]:
-        """On-disk shape plus this process's hit/miss counters."""
+        """On-disk shape, this process's hit/miss counters, and the
+        fleet-wide counters aggregated from the store's durable event
+        journal (``dedup_hits``, ``steals``, ``corruption_drops``, …) —
+        the journal survives process exit, so a fresh ``cache --stats``
+        can report what an entire fleet run did."""
         entries = 0
         total = 0
         if self.directory.is_dir():
@@ -278,7 +287,7 @@ class CompileCache:
                 except OSError:
                     continue
                 entries += 1
-        return {
+        stats: Dict[str, object] = {
             "directory": str(self.directory),
             "entries": entries,
             "bytes": total,
@@ -286,11 +295,15 @@ class CompileCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "lease_ttl": self.artifacts.ttl,
         }
+        stats.update(self.artifacts.counters())
+        return stats
 
     def clear(self) -> int:
-        """Delete every entry (and stray temp files); returns how many
-        entries were removed."""
+        """Delete every entry (plus stray temp files, leases, per-key
+        locks, and the event journal); returns how many entries were
+        removed."""
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
@@ -304,6 +317,7 @@ class CompileCache:
                     path.unlink()
                 except OSError:
                     pass
+            self.artifacts.clear()
         return removed
 
     def __len__(self) -> int:
@@ -442,6 +456,8 @@ def cached_compile_minic(
     cache: Optional[CompileCache] = None,
     flight: Optional[SingleFlight] = None,
     cancel=None,
+    faults=None,
+    lease_wait: Optional[float] = None,
     **overrides,
 ) -> CompiledProgram:
     """``compile_minic`` with the disk cache wrapped around it.
@@ -452,12 +468,20 @@ def cached_compile_minic(
     (``on_pass_failure != 'raise'`` or an active ``REPRO_FAULTS`` plan)
     bypass the cache too: a degraded program must not be revived as if
     it were the full compilation, and a hit would lose its
-    ``pass_failures``.
+    ``pass_failures``.  The one exception is a plan made purely of
+    disk-fault kinds (``FaultPlan.disk_only()``): those faults target
+    the artifact store itself, so the cache stays ON and the plan is
+    armed *inside* the store instead.
 
     ``flight`` (a :class:`SingleFlight`) dedups concurrent identical
-    keys: when the compile service's workers race on the same request,
-    one compiles and the rest share the result.  ``cancel`` is the
-    pipeline's cancellation probe (checked at stage boundaries); the
+    keys within this process; across processes the same dedup comes
+    from the store's lease protocol — the miss path runs through
+    ``ArtifactStore.fetch_or_compute``, so the first process compiles
+    while the rest wait on its lease (stealing it if the holder dies)
+    and share the published artifact.  ``lease_wait`` bounds that wait;
+    on exhaustion the compile happens locally — degraded to duplicate
+    work, never to an error.  ``cancel`` is the pipeline's cancellation
+    probe (checked at stage boundaries and at every lease poll); the
     cache-hit path never reaches it.
     """
     if isinstance(machine, str):
@@ -465,25 +489,58 @@ def cached_compile_minic(
     config = get_config(config, **overrides)
     if cache is None:
         cache = default_cache()
+    plan = faults
+    if plan is None and os.environ.get("REPRO_FAULTS"):
+        from repro.resilience.faults import FaultPlan
+
+        try:
+            plan = FaultPlan.from_env()
+        except ReproError:
+            # Unparseable plan: stay out of the cache and let the
+            # compile path surface the configuration error.
+            plan = object()
+    plan_blocks_cache = plan is not None and not (
+        hasattr(plan, "disk_only") and plan.disk_only()
+    )
     if (
         cache is None or config.sanitize or config.differential
         or config.on_pass_failure != "raise"
         or config.disabled_passes
-        or os.environ.get("REPRO_FAULTS")
+        or plan_blocks_cache
     ):
         return compile_minic(source, machine, config, cancel=cancel)
+    if plan is not None and cache.artifacts.faults is None:
+        cache.artifacts.faults = plan  # arm disk faults inside the store
 
     key = cache_key(source, machine.name, config)
 
-    def compile_through_cache() -> CompiledProgram:
-        payload = cache.lookup(key)
-        if payload is not None:
-            revived = revive_program(payload, machine, config)
-            if revived is not None:
-                return revived
+    def produce():
         compiled = compile_minic(source, machine, config, cancel=cancel)
-        cache.store(key, serialize_program(compiled))
-        return compiled
+        return compiled, json.dumps(serialize_program(compiled)).encode()
+
+    def decode(data: bytes) -> CompiledProgram:
+        payload = CompileCache.validate_payload(json.loads(data))
+        revived = revive_program(payload, machine, config)
+        if revived is None:
+            raise ValueError("payload does not revive to a program")
+        return revived
+
+    def compile_through_cache() -> CompiledProgram:
+        try:
+            program, role = cache.artifacts.fetch_or_compute(
+                key, produce, decode=decode,
+                wait_timeout=lease_wait, cancel=cancel,
+            )
+        except OSError:
+            # Anything the store could not degrade internally (a dying
+            # filesystem, a yanked cache directory): compile uncached.
+            return compile_minic(source, machine, config, cancel=cancel)
+        if role in ("hit", "dedup"):
+            cache.hits += 1
+        else:
+            cache.misses += 1
+            cache.prune()
+        return program
 
     if flight is None:
         return compile_through_cache()

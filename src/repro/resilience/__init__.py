@@ -40,6 +40,7 @@ from repro.resilience.classify import (
     is_retryable,
 )
 from repro.resilience.faults import (
+    DISK_FAULT_KINDS,
     FAULT_KINDS,
     FLEET_FAULT_KINDS,
     FaultPlan,
@@ -60,6 +61,7 @@ __all__ = [
     "RETRYABLE",
     "classify_failure",
     "is_retryable",
+    "DISK_FAULT_KINDS",
     "FAULT_KINDS",
     "FLEET_FAULT_KINDS",
     "FaultPlan",

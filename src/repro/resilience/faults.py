@@ -35,6 +35,21 @@ worker's socket bind).  They are drawn by the fleet supervisor at
 ``worker:<index>`` / ``worker:<index>:spawn`` sites and are inert
 anywhere else; see :mod:`repro.service.fleet`.
 
+And five *disk-level* kinds (:data:`DISK_FAULT_KINDS`) that act on the
+content-addressed artifact store rather than on passes or workers —
+``torn-write`` (the publishing process "crashes" between payload write
+and rename, leaving a truncated temp-file image in the final location),
+``stale-lease`` (a lease holder stops heartbeating so waiters must
+steal), ``lease-steal-race`` (a stealing waiter pauses between
+verifying the lease is stale and re-acquiring it, widening the race
+window with a rival stealer), ``corrupt-artifact`` (flip payload bytes
+after publish so the read-side checksum must catch it), and ``enospc``
+(raise ``OSError(ENOSPC)`` from the write path).  They are drawn by
+:class:`repro.service.artifacts.ArtifactStore` at ``artifact:read``,
+``artifact:publish``, ``artifact:lease`` and ``artifact:steal`` sites
+(each also answering to the key-qualified alias
+``artifact:<op>:<key12>``) and are inert anywhere else.
+
 Plans come from the ``REPRO_FAULTS`` environment variable (picked up by
 ``compile_minic`` automatically) or the ``--inject`` CLI flag, and
 round-trip through ``str(plan)`` so a crash bundle can re-arm the exact
@@ -57,6 +72,10 @@ FAULT_KINDS = (
     # Fleet-level kinds, consulted by the fleet supervisor at *worker*
     # granularity rather than by the pass guard at pass sites:
     "kill", "hang", "slowstart",
+    # Disk-level kinds, consulted by the artifact store at
+    # artifact:<op> sites and inert everywhere else:
+    "torn-write", "stale-lease", "lease-steal-race", "corrupt-artifact",
+    "enospc",
 )
 
 #: Kinds that act on a whole worker process instead of a pass/block.
@@ -70,8 +89,24 @@ FAULT_KINDS = (
 #: (drawn per spawn, for ``slowstart``).
 FLEET_FAULT_KINDS = ("kill", "hang", "slowstart")
 
+#: Kinds that act on the content-addressed artifact store.  They are
+#: drawn by :class:`repro.service.artifacts.ArtifactStore` at
+#: ``artifact:read`` / ``artifact:publish`` / ``artifact:lease`` /
+#: ``artifact:steal`` sites (plus key-qualified aliases) and simulate
+#: disk-layer misbehaviour: torn writes, holders that stop
+#: heartbeating, widened steal races, bit-flipped payloads, and a full
+#: disk.  The pass guard and the fleet supervisor both ignore them.
+DISK_FAULT_KINDS = (
+    "torn-write", "stale-lease", "lease-steal-race", "corrupt-artifact",
+    "enospc",
+)
+
 #: Kinds that carry an optional ``:seconds`` amount in plan strings.
-TIMED_FAULT_KINDS = ("sleep",) + FLEET_FAULT_KINDS
+#: ``stale-lease`` and ``lease-steal-race`` take one too: how long the
+#: holder plays dead / the stealer lingers inside the race window.
+TIMED_FAULT_KINDS = (
+    ("sleep",) + FLEET_FAULT_KINDS + ("stale-lease", "lease-steal-race")
+)
 
 #: Slice width of a ``sleep`` fault: the stall is interruptible at this
 #: granularity whenever a ``cancel_check`` is installed.
@@ -153,6 +188,26 @@ class FaultPlan:
 
     def __bool__(self) -> bool:
         return bool(self.specs) or self.seed is not None
+
+    def disk_only(self) -> bool:
+        """Whether every fault in this plan is a disk-level kind.
+
+        Compilation results under pass faults are not trustworthy, so
+        the cached-compile path normally disarms itself whenever a plan
+        is active.  A plan made purely of :data:`DISK_FAULT_KINDS`
+        inverts that: its whole point is to exercise the artifact
+        store, so the cache must stay ON.  (A seeded sweep counts only
+        if *all* its candidate kinds are disk kinds.)
+        """
+        if not self:
+            return False
+        if any(spec.kind not in DISK_FAULT_KINDS for spec in self.specs):
+            return False
+        if self.seed is not None and any(
+            kind not in DISK_FAULT_KINDS for kind in self.kinds
+        ):
+            return False
+        return True
 
     def __str__(self) -> str:
         parts = [str(spec) for spec in self.specs]
@@ -282,6 +337,11 @@ class FaultPlan:
             raise ReproError(
                 f"fault kind {spec.kind!r} is fleet-level; it only fires "
                 "at worker:<index> sites under the fleet supervisor"
+            )
+        if spec.kind in DISK_FAULT_KINDS:
+            raise ReproError(
+                f"fault kind {spec.kind!r} is disk-level; it only fires "
+                "at artifact:<op> sites inside the artifact store"
             )
         raise FaultInjected(spec.site, spec.kind)
 

@@ -27,31 +27,46 @@ service:
   breaker state stays per-shard, with heartbeat-based hang detection,
   exponential-backoff restarts, exactly-once requeue of in-flight
   requests from crashed workers, and quarantine (degraded local
-  compile + crash bundle) for requests that kill workers repeatedly.
+  compile + crash bundle) for requests that kill workers repeatedly;
+* :mod:`repro.service.artifacts` — the crash-safe content-addressed
+  artifact store under the compile cache: integrity-framed entries
+  published by fsync + link-once, a lease-based cross-process
+  single-flight protocol (heartbeats, staleness detection, fenced
+  steals), a durable event journal behind the ``dedup``/``steal``/
+  ``corruption`` counters, and the seeded disk-fault hooks that
+  ``python -m repro chaos --disk`` drives.
 """
 
+from repro.service.artifacts import ArtifactStore, Lease
 from repro.service.breaker import (
     BREAKER_STATES,
     BreakerBoard,
     CircuitBreaker,
 )
 from repro.service.client import ServiceClient, ServiceUnavailable
-from repro.service.fleet import FleetSupervisor, run_fleet_chaos
+from repro.service.fleet import (
+    FleetSupervisor,
+    run_disk_chaos,
+    run_fleet_chaos,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     RETRYABLE_STATUSES,
     ProtocolError,
     default_socket_path,
 )
-from repro.service.server import CompileServer
+from repro.service.server import CompileServer, LatencyRing
 from repro.service.supervisor import Worker
 
 __all__ = [
+    "ArtifactStore",
     "BREAKER_STATES",
     "BreakerBoard",
     "CircuitBreaker",
     "CompileServer",
     "FleetSupervisor",
+    "LatencyRing",
+    "Lease",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RETRYABLE_STATUSES",
@@ -59,5 +74,6 @@ __all__ = [
     "ServiceUnavailable",
     "Worker",
     "default_socket_path",
+    "run_disk_chaos",
     "run_fleet_chaos",
 ]

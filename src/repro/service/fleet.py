@@ -148,12 +148,20 @@ class FleetSupervisor:
         forward_timeout: float = DEFAULT_FORWARD_TIMEOUT,
         connect_timeout: float = 1.0,
         max_in_flight: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        lease_ttl: Optional[float] = None,
     ):
         self.socket_path = socket_path or protocol.default_socket_path()
         self.run_dir = run_dir or tempfile.mkdtemp(prefix="repro-fleet-")
         os.makedirs(self.run_dir, exist_ok=True)
         self.default_deadline = default_deadline
         self.crash_dir = crash_dir or os.environ.get("REPRO_CRASH_DIR")
+        # The shared artifact cache: explicit flags (not environment
+        # plumbing) so every life of every worker slot lands on the
+        # same store with the same lease TTL — the cross-process dedup
+        # guarantees depend on that.
+        self.cache_dir = cache_dir
+        self.lease_ttl = lease_ttl
         self.fleet_faults = fleet_faults
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
@@ -183,6 +191,8 @@ class FleetSupervisor:
                     breaker_cooldown=breaker_cooldown,
                     crash_dir=self.crash_dir,
                     inject=worker_inject,
+                    cache_dir=self.cache_dir,
+                    lease_ttl=self.lease_ttl,
                 ),
                 spawn_grace=spawn_grace,
                 stable_after=stable_after,
@@ -778,9 +788,22 @@ class FleetSupervisor:
                 if scraped is not None and scraped.get("status") == "ok":
                     info["server"] = scraped.get("server")
                     info["breakers"] = scraped.get("breakers")
+                    info["latency"] = scraped.get("latency")
                 else:
                     info["unreachable"] = True
             workers.append(info)
+        cache = None
+        if self.cache_dir:
+            # All workers share one artifact store, so its journal is
+            # the fleet-wide dedup ledger; read it here rather than
+            # trusting any single worker's view.
+            try:
+                from repro.service.artifacts import ArtifactStore
+                cache = ArtifactStore(
+                    self.cache_dir, ttl=self.lease_ttl
+                ).counters()
+            except (OSError, ValueError):
+                cache = None
         return {
             "fleet": {
                 "socket": self.socket_path,
@@ -799,8 +822,11 @@ class FleetSupervisor:
                 "faults": (
                     str(self.fleet_faults) if self.fleet_faults else ""
                 ),
+                "cache_dir": self.cache_dir,
+                "lease_ttl": self.lease_ttl,
                 **counts,
             },
+            "cache": cache,
             "workers": workers,
         }
 
@@ -1113,5 +1139,523 @@ def run_fleet_chaos(
         f"{restarts} restart(s), {summary['requeued']} requeue(s), "
         f"{summary['quarantined']} quarantine(s), "
         f"{len(problems)} problem(s)"
+    )
+    return summary, problems
+
+
+# -- the disk chaos harness ---------------------------------------------------
+
+#: A dot-product the mixed workload never compiles: the contention
+#: squad races it cold across every worker's private socket, so the
+#: front-end sharding (which would route identical requests to one
+#: worker) cannot hide a broken cross-process dedup.
+_DISK_SQUAD = """
+int dotsq(short *a, short *b, int n) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < n; i++)
+        s += a[i] * b[i];
+    return s;
+}
+"""
+
+#: A key requested exactly once, after the harness has planted a dead
+#: holder's lease for it — the canonical SIGKILLed-mid-compile wreck.
+_DISK_ORPHAN = """
+int orphan(int a, int b) {
+    return a * b + 7;
+}
+"""
+
+_DISK_SWEEP_KINDS = (
+    "torn-write|corrupt-artifact|stale-lease|lease-steal-race|enospc"
+)
+
+
+def build_disk_chaos_inject(seed: int, rate: float = 0.08) -> str:
+    """The per-worker disk-fault sweep (a seeded, disk-only plan).
+
+    Every worker gets the same plan string; each process rolls its own
+    deterministic dice per (site, arrival), so faults land where that
+    worker's actual artifact traffic goes.  All candidate kinds are
+    disk kinds, so ``FaultPlan.disk_only()`` holds and the workers keep
+    their cache ON — the whole point is to batter the artifact store.
+    """
+    return f"seed={seed},rate={rate:g},kinds={_DISK_SWEEP_KINDS}"
+
+
+def _disk_key(source: str, machine: str, config: str) -> str:
+    """The exact artifact key a worker will compute for this request
+    (same source tree, same pass fingerprint)."""
+    from repro.bench.cache import cache_key
+    from repro.machine import get_machine
+    from repro.pipeline import get_config
+
+    return cache_key(source, get_machine(machine).name, get_config(config))
+
+
+def _plant_dead_lease(cache_dir: str, key: str, ttl: float) -> int:
+    """Leave the wreckage of a SIGKILLed holder: a lease file whose pid
+    is already reaped and whose heartbeat stopped long ago.  Returns
+    the dead pid."""
+    import json as _json
+    import subprocess
+    import sys as _sys
+
+    proc = subprocess.Popen(
+        [_sys.executable, "-c", "pass"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    proc.wait()
+    os.makedirs(cache_dir, exist_ok=True)
+    path = os.path.join(cache_dir, f"{key}.lease")
+    body = _json.dumps({
+        "pid": proc.pid,
+        "nonce": "deadc0de" * 2,
+        "token": 1,
+        "ttl": ttl,
+        "created": round(time.time(), 4),
+    })
+    with open(path, "w") as handle:
+        handle.write(body)
+    past = time.time() - (ttl * 2.0 + 5.0)
+    os.utime(path, (past, past))
+    return proc.pid
+
+
+def _disk_event_tally(events) -> Dict[str, Dict[str, int]]:
+    """Per-key event counts from an :class:`ArtifactStore` journal."""
+    tally: Dict[str, Dict[str, int]] = {}
+    for event in events:
+        key = event.get("key")
+        if not key:
+            continue
+        per = tally.setdefault(str(key), {})
+        name = str(event.get("ev"))
+        if name == "disk-error" and event.get("op") == "publish":
+            name = "disk-error-publish"
+        per[name] = per.get(name, 0) + 1
+    return tally
+
+
+def _excused_compiles(per: Dict[str, int]) -> int:
+    """How many *extra* compiles of one key the journal can explain.
+
+    Each term is a recorded fault or crash consequence: a stolen lease
+    (the thief recompiles), a dropped corrupt artifact, a publish that
+    tore or hit a disk error (the artifact never became readable), or
+    a fenced publish (the loser's bytes were discarded).
+    """
+    return (
+        per.get("steal", 0)
+        + per.get("corrupt-drop", 0)
+        + per.get("publish-torn", 0)
+        + per.get("disk-error-publish", 0)
+        + per.get("publish-fenced", 0)
+    )
+
+
+def run_disk_chaos(
+    requests: int = 100,
+    workers: int = DEFAULT_FLEET_WORKERS,
+    seed: int = 0,
+    deadline: float = 20.0,
+    kills: int = 2,
+    rate: float = 0.08,
+    socket_path: Optional[str] = None,
+    run_dir: Optional[str] = None,
+    crash_dir: Optional[str] = None,
+    client_threads: int = 8,
+    lease_ttl: float = 1.0,
+    echo=None,
+) -> Tuple[dict, List[str]]:
+    """Batter a shared artifact cache under a live fleet and audit the
+    exactly-once dedup contract.
+
+    Four stages, one shared on-disk store:
+
+    1. a *contention squad* races one cold key straight at every
+       worker's private socket (bypassing the sharded front end);
+    2. the same key is re-raced warm — it must not compile again;
+    3. an *orphan* key is requested once over a planted dead-holder
+       lease — the worker must steal it and publish under the next
+       fencing token;
+    4. the standard mixed workload runs through the front socket while
+       seeded worker SIGKILLs and per-worker disk-fault sweeps
+       (torn writes, corrupt artifacts, silent leases, steal races,
+       ENOSPC) fire underneath.
+
+    The audit reads the store's durable event journal: every compile
+    beyond the first must be excused by a recorded steal / corruption
+    drop / failed publish; link-once must hold (never two surviving
+    publishes without a corruption drop between); the planted wreck
+    must be stolen exactly once and published at most once; known
+    -answer simulations must return the right number (a corrupt
+    artifact can never be served); no request may be lost.
+    """
+    from repro.service.artifacts import ArtifactStore
+    from repro.service.client import (
+        ServiceClient,
+        ServiceUnavailable,
+        wait_until_ready,
+    )
+
+    def say(message: str) -> None:
+        if echo is not None:
+            echo(message)
+
+    rng = random.Random(seed)
+    workload = build_chaos_workload(rng, requests, deadline)
+    plan = build_chaos_plan(rng, workers, workload, kills, 0)
+    inject = build_disk_chaos_inject(seed, rate)
+    say(f"disk chaos: fleet plan {plan}; worker sweep {inject}")
+
+    if run_dir is None:
+        run_dir = tempfile.mkdtemp(prefix="repro-disk-chaos-")
+    if socket_path is None:
+        socket_path = os.path.join(run_dir, "fleet.sock")
+    cache_dir = os.path.join(run_dir, "artifact-cache")
+
+    squad_key = _disk_key(_DISK_SQUAD, "alpha", "coalesce-all")
+    orphan_key = _disk_key(_DISK_ORPHAN, "alpha", "coalesce-all")
+    dead_pid = _plant_dead_lease(cache_dir, orphan_key, lease_ttl)
+    say(
+        f"disk chaos: planted dead lease pid={dead_pid} "
+        f"for {orphan_key[:12]}"
+    )
+
+    fleet = FleetSupervisor(
+        socket_path=socket_path,
+        workers=workers,
+        run_dir=run_dir,
+        crash_dir=crash_dir,
+        fleet_faults=plan,
+        worker_inject=inject,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=1.0,
+        cache_dir=cache_dir,
+        lease_ttl=lease_ttl,
+    )
+    store = ArtifactStore(cache_dir, ttl=lease_ttl)
+    problems: List[str] = []
+    outcomes: List[Optional[dict]] = [None] * len(workload)
+    elapsed: List[float] = [0.0] * len(workload)
+    squad_cold: List[Optional[dict]] = [None] * workers
+    squad_warm: List[Optional[dict]] = [None] * workers
+    orphan_response: Optional[dict] = None
+    try:
+        fleet.start()
+        if not wait_until_ready(fleet.socket_path, timeout=10.0):
+            raise OSError(
+                f"fleet never became ready on {fleet.socket_path}"
+            )
+        for worker in fleet._workers:
+            if not wait_until_ready(worker.socket_path, timeout=15.0):
+                raise OSError(
+                    f"worker {worker.index} never became ready"
+                )
+
+        # -- stage 1 + 2: the contention squad, cold then warm ------------
+        def race(round_results: List[Optional[dict]]) -> None:
+            def hit_worker(index: int, wsock: str) -> None:
+                client = ServiceClient(
+                    wsock, retries=10,
+                    backoff_base=0.02, backoff_cap=0.3,
+                )
+                try:
+                    round_results[index] = client.request(
+                        "compile",
+                        source=_DISK_SQUAD,
+                        machine="alpha",
+                        config="coalesce-all",
+                        deadline=deadline,
+                    )
+                except Exception as exc:  # noqa: BLE001 — audit, don't die
+                    round_results[index] = {
+                        "status": "client-error",
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+
+            threads = [
+                threading.Thread(
+                    target=hit_worker, args=(w.index, w.socket_path),
+                    name=f"disk-squad-{w.index}",
+                )
+                for w in fleet._workers
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=deadline * 2 + 30.0)
+
+        race(squad_cold)
+        tally_after_cold = _disk_event_tally(store.events())
+        race(squad_warm)
+        tally_after_warm = _disk_event_tally(store.events())
+
+        # -- stage 3: steal the planted wreck -----------------------------
+        front = ServiceClient(
+            fleet.socket_path, retries=8,
+            backoff_base=0.02, backoff_cap=0.2,
+        )
+        try:
+            orphan_response = front.request(
+                "compile",
+                source=_DISK_ORPHAN,
+                machine="alpha",
+                config="coalesce-all",
+                deadline=deadline,
+            )
+        except Exception as exc:  # noqa: BLE001 — audit, don't die
+            orphan_response = {
+                "status": "client-error",
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+        # -- stage 4: the mixed workload under fire -----------------------
+        cursor = {"next": 0}
+        cursor_lock = threading.Lock()
+
+        def drive() -> None:
+            client = ServiceClient(
+                fleet.socket_path, retries=8,
+                backoff_base=0.02, backoff_cap=0.2,
+            )
+            while True:
+                with cursor_lock:
+                    index = cursor["next"]
+                    if index >= len(workload):
+                        return
+                    cursor["next"] = index + 1
+                request = workload[index]
+                began = time.monotonic()
+                try:
+                    response = client.request(
+                        request["op"],
+                        **{
+                            k: v for k, v in request.items()
+                            if k != "op"
+                        },
+                    )
+                except ServiceUnavailable as exc:
+                    response = {
+                        "status": "client-deadline"
+                        if "deadline" in str(exc) else "unavailable",
+                        "error": str(exc),
+                    }
+                except Exception as exc:  # noqa: BLE001 — audit, don't die
+                    response = {
+                        "status": "client-error",
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                outcomes[index] = response
+                elapsed[index] = time.monotonic() - began
+
+        threads = [
+            threading.Thread(target=drive, name=f"disk-client-{i}")
+            for i in range(max(1, client_threads))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=requests * 10.0)
+        status = fleet._status_payload(scrape=True)
+    finally:
+        fleet.shutdown()
+
+    # -- audit ---------------------------------------------------------------
+    events = store.events()
+    tally = _disk_event_tally(events)
+    counters = store.counters()
+    squad12 = squad_key[:12]
+    orphan12 = orphan_key[:12]
+
+    # Stage 1: every racer answered, and the squad key compiled at most
+    # once per excuse — with the floor that dedup saved at least one of
+    # the `workers` simultaneous cold requesters.
+    for index, response in enumerate(squad_cold + squad_warm):
+        which = "cold" if index < workers else "warm"
+        worker_index = index % workers
+        got = (response or {}).get("status")
+        if got not in ("ok", "degraded"):
+            problems.append(
+                f"squad {which} racer at worker {worker_index}: "
+                f"outcome {got!r} "
+                f"({(response or {}).get('error', 'no answer')})"
+            )
+    squad_cold_tally = tally_after_cold.get(squad12, {})
+    cold_compiles = squad_cold_tally.get("compile", 0)
+    cold_fallbacks = squad_cold_tally.get("fallback", 0)
+    if cold_compiles + cold_fallbacks >= workers:
+        problems.append(
+            f"squad key {squad12}: all {workers} cold racers compiled "
+            f"({cold_compiles} compiles, {cold_fallbacks} fallbacks) — "
+            "cross-process dedup saved nothing"
+        )
+
+    # Stage 2: a warm key must not compile again without a recorded
+    # corruption drop / steal / failed publish in between.
+    warm_tally = tally_after_warm.get(squad12, {})
+    warm_compiles = (
+        warm_tally.get("compile", 0) - squad_cold_tally.get("compile", 0)
+    )
+    warm_excuse = (
+        _excused_compiles(warm_tally)
+        - _excused_compiles(squad_cold_tally)
+    )
+    if warm_compiles > warm_excuse:
+        problems.append(
+            f"squad key {squad12}: {warm_compiles} warm-round "
+            f"compile(s) with only {warm_excuse} excusing event(s) — "
+            "duplicate compile of a warm key"
+        )
+
+    # Stage 3: the planted wreck was stolen (fencing token advanced)
+    # and at most one publish survived.
+    orphan_tally = tally.get(orphan12, {})
+    orphan_status = (orphan_response or {}).get("status")
+    if orphan_status not in ("ok", "degraded"):
+        problems.append(
+            f"orphan request: outcome {orphan_status!r} "
+            f"({(orphan_response or {}).get('error', 'no answer')})"
+        )
+    if orphan_tally.get("steal", 0) < 1:
+        problems.append(
+            f"orphan key {orphan12}: planted dead-holder lease was "
+            "never stolen"
+        )
+    if orphan_tally.get("publish", 0) > 1:
+        problems.append(
+            f"orphan key {orphan12}: "
+            f"{orphan_tally['publish']} surviving publishes after a "
+            "steal — the fencing rule failed"
+        )
+
+    # Global per-key invariants: link-once, and no unexcused compile.
+    for key, per in sorted(tally.items()):
+        if per.get("publish", 0) > 1 + per.get("corrupt-drop", 0):
+            problems.append(
+                f"key {key}: {per['publish']} publishes with only "
+                f"{per.get('corrupt-drop', 0)} corruption drop(s) — "
+                "link-once violated"
+            )
+        extra = per.get("compile", 0) - 1
+        if extra > _excused_compiles(per):
+            problems.append(
+                f"key {key}: {per['compile']} compiles but only "
+                f"{_excused_compiles(per)} excusing event(s) — "
+                "redundant compile of a warm key"
+            )
+        for event in events:
+            if event.get("key") == key and event.get("ev") == "steal":
+                if per.get("publish", 0) + per.get(
+                    "publish-fenced", 0
+                ) + per.get("publish-torn", 0) + per.get(
+                    "disk-error-publish", 0
+                ) < 1:
+                    problems.append(
+                        f"key {key}: a lease was stolen but no writer "
+                        "(surviving, fenced, torn, or errored) ever "
+                        "followed"
+                    )
+                break
+
+    # Mixed workload: the same zero-lost / typed-outcome contract as
+    # the fleet harness, plus the known-answer check — a simulate that
+    # answered 'ok' off a corrupt artifact would answer wrongly.
+    by_status: Dict[str, int] = {}
+    max_elapsed = 0.0
+    expected_dot = 31  # [3,1,4,1,5,9,2,6] . [1]*8
+    for index, response in enumerate(outcomes):
+        request = workload[index]
+        if response is None:
+            problems.append(f"request {index}: LOST (no answer)")
+            continue
+        got = response.get("status")
+        by_status[got] = by_status.get(got, 0) + 1
+        max_elapsed = max(max_elapsed, elapsed[index])
+        budget = request.get("deadline")
+        if budget is not None and elapsed[index] > 2 * budget + 5.0:
+            problems.append(
+                f"request {index}: answered but only after "
+                f"{elapsed[index]:.1f}s against a {budget:g}s deadline"
+            )
+        if (
+            request["op"] == "simulate"
+            and got in ("ok", "degraded")
+            and response.get("result") != expected_dot
+        ):
+            problems.append(
+                f"request {index}: simulate answered "
+                f"{response.get('result')!r}, wanted {expected_dot} — "
+                "a corrupt artifact was served"
+            )
+        if got in ("ok", "degraded", "timeout", "client-deadline"):
+            continue
+        if (
+            got == "error"
+            and response.get("error_type") == "QuarantinedRequest"
+        ):
+            continue
+        problems.append(
+            f"request {index}: untyped outcome {got!r} "
+            f"({response.get('error', '')})"
+        )
+
+    if counters.get("dedup_hits", 0) < 1:
+        problems.append(
+            "no dedup hit was ever journalled — the shared store "
+            "deduplicated nothing"
+        )
+
+    fired = [str(spec) for spec in plan.fired]
+    fired_fatal = [
+        spec for spec in plan.fired if spec.kind in ("kill", "hang")
+    ]
+    restarts = status["fleet"]["worker_restarts"]
+    if fired_fatal and restarts == 0:
+        problems.append(
+            f"{len(fired_fatal)} kill fault(s) fired but no worker "
+            "was ever restarted"
+        )
+    live = [
+        w for w in status["workers"]
+        if w["state"] == WORKER_UP and not w.get("unreachable")
+    ]
+    if not live:
+        problems.append("no worker was alive at the end of the run")
+
+    summary = {
+        "requests": len(workload),
+        "answered": sum(1 for r in outcomes if r is not None),
+        "by_status": dict(sorted(by_status.items())),
+        "squad_key": squad12,
+        "orphan_key": orphan12,
+        "cache_dir": cache_dir,
+        "cache": counters,
+        "faults_planned": [str(s) for s in plan.specs],
+        "faults_fired": fired,
+        "worker_inject": inject,
+        "worker_restarts": restarts,
+        "requeued": status["fleet"]["requeued"],
+        "quarantined": status["fleet"]["quarantined"],
+        "latency": {
+            str(w["index"]): w.get("latency")
+            for w in status["workers"]
+        },
+        "max_elapsed": round(max_elapsed, 3),
+        "run_dir": fleet.run_dir,
+        "supervisor_log": fleet.supervisor_log,
+        "problems": len(problems),
+    }
+    say(
+        f"disk chaos: {summary['answered']}/{summary['requests']} "
+        f"answered {summary['by_status']}; cache "
+        f"{counters.get('publishes', 0)} publish(es), "
+        f"{counters.get('dedup_hits', 0)} dedup hit(s), "
+        f"{counters.get('steals', 0)} steal(s), "
+        f"{counters.get('corruption_drops', 0)} corruption drop(s), "
+        f"{counters.get('fallbacks', 0)} fallback(s); "
+        f"{restarts} restart(s), {len(problems)} problem(s)"
     )
     return summary, problems

@@ -38,6 +38,7 @@ requests for the same (source, machine, config) compile once).
 
 from __future__ import annotations
 
+import math
 import os
 import queue
 import socket
@@ -114,6 +115,54 @@ class _Stats:
             return dict(self._counts)
 
 
+class LatencyRing:
+    """Fixed-capacity ring of recent request durations.
+
+    Cheap enough to record on every request (one float write under a
+    lock), rich enough for the status surface: nearest-rank p50/p90/p99
+    over the last ``capacity`` requests.  ``count`` is lifetime total,
+    so a scraper can tell "quiet ring" from "freshly restarted".
+    """
+
+    DEFAULT_CAPACITY = 512
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = max(1, capacity)
+        self._buffer = [0.0] * self.capacity
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._buffer[self._count % self.capacity] = float(seconds)
+            self._count += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """``{count, window, p50, p90, p99}`` (seconds, or None when
+        nothing has been recorded yet)."""
+        with self._lock:
+            filled = min(self._count, self.capacity)
+            data = sorted(self._buffer[:filled])
+            total = self._count
+        if not data:
+            return {
+                "count": 0, "window": 0,
+                "p50": None, "p90": None, "p99": None,
+            }
+
+        def nearest_rank(quantile: float) -> float:
+            index = max(0, math.ceil(quantile * len(data)) - 1)
+            return round(data[min(index, len(data) - 1)], 6)
+
+        return {
+            "count": total,
+            "window": len(data),
+            "p50": nearest_rank(0.50),
+            "p90": nearest_rank(0.90),
+            "p99": nearest_rank(0.99),
+        }
+
+
 class CompileServer:
     """The long-running compile/simulate/bench service."""
 
@@ -131,8 +180,15 @@ class CompileServer:
         start_delay: float = 0.0,
         worker_id: Optional[int] = None,
         exit_with_parent: bool = False,
+        cache_dir: Optional[str] = None,
+        lease_ttl: Optional[float] = None,
     ):
-        from repro.bench.cache import SingleFlight, default_cache
+        from repro.bench.cache import (
+            CompileCache,
+            SingleFlight,
+            cache_enabled,
+            default_cache,
+        )
 
         self.socket_path = socket_path or protocol.default_socket_path()
         self.workers = max(1, workers)
@@ -147,8 +203,22 @@ class CompileServer:
         self._parent_pid = os.getppid() if exit_with_parent else None
         self.queue_limit = max(1, queue_limit)
         self.default_deadline = default_deadline
-        self.cache = cache if cache is not None else default_cache()
+        if cache is not None:
+            self.cache = cache
+        elif cache_dir is not None:
+            # An explicit shared directory (the fleet's): honoured even
+            # when it differs from $REPRO_CACHE_DIR, still subject to
+            # the REPRO_CACHE=off kill switch.
+            self.cache = (
+                CompileCache(cache_dir, lease_ttl=lease_ttl)
+                if cache_enabled() else None
+            )
+        else:
+            self.cache = default_cache()
+        if self.cache is not None and lease_ttl is not None:
+            self.cache.artifacts.ttl = float(lease_ttl)
         self.flight = SingleFlight()
+        self.latency = LatencyRing()
         self.breakers = BreakerBoard(breaker_threshold, breaker_cooldown)
         # One long-lived plan shared by every compile, so arrival counts
         # span requests: 'coalesce=raise@3' means "the third coalesce
@@ -174,6 +244,14 @@ class CompileServer:
             # parks its own deadline in thread-local state, so a 'sleep'
             # fault in one request can never be cut by another's clock.
             self.faults.cancel_check = self._cancel
+        if (
+            self.faults is not None and self.cache is not None
+            and self.faults.disk_only()
+        ):
+            # Disk-fault plans target the artifact store itself, so the
+            # store draws from the same long-lived plan the server owns
+            # (arrival counts span requests, as with pass sites).
+            self.cache.artifacts.faults = self.faults
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -410,6 +488,9 @@ class CompileServer:
             finally:
                 self.stats.bump("in_flight", -1)
                 self._tls.deadline = None
+                # Queue time spends deadline budget, so it counts here
+                # too: the ring measures what the *client* experienced.
+                self.latency.record(time.monotonic() - enqueued_at)
             conn.send(response)
 
     def _process(self, request: dict, enqueued_at: float) -> dict:
@@ -504,13 +585,16 @@ class CompileServer:
 
         # Full pipeline (closed circuit, or the half-open probe).
         try:
-            if plan is None:
+            if plan is None or plan.disk_only():
+                # A disk-only plan keeps the cached path: its faults
+                # live inside the artifact store, and bypassing the
+                # cache would bypass exactly what they exercise.
                 from repro.bench.cache import cached_compile_minic
 
                 program = cached_compile_minic(
                     request["source"], machine, config,
                     cache=self.cache, flight=self.flight,
-                    cancel=self._cancel,
+                    cancel=self._cancel, faults=plan,
                 )
             else:
                 program = compile_minic(
@@ -587,7 +671,10 @@ class CompileServer:
         plan = FaultPlan.parse(request.get("faults"))
         if plan is None:
             plan = self.faults
-        if plan is not None:
+        if plan is not None and not plan.disk_only():
+            # Disk-only plans target the artifact store, not the
+            # simulator; a sim hook would turn every drawn disk fault
+            # into a bogus SimulationTimeout.
             sim_kwargs["fault_hook"] = plan.sim_hook()
 
         sim = program.simulator(**sim_kwargs)
@@ -690,4 +777,5 @@ class CompileServer:
             "breakers": self.breakers.snapshot(),
             "cache": self.cache.stats() if self.cache is not None else None,
             "single_flight_shared": self.flight.shared,
+            "latency": self.latency.snapshot(),
         }

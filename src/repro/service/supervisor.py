@@ -102,8 +102,16 @@ def worker_command(
     default_deadline: Optional[float] = None,
     crash_dir: Optional[str] = None,
     inject: str = "",
+    cache_dir: Optional[str] = None,
+    lease_ttl: Optional[float] = None,
 ) -> List[str]:
-    """The argv that runs one fleet worker."""
+    """The argv that runs one fleet worker.
+
+    ``cache_dir``/``lease_ttl`` are explicit flags rather than
+    environment plumbing so they survive worker restarts unchanged —
+    every life of the slot shares the same artifact store and lease
+    protocol, which the cross-process dedup guarantees depend on.
+    """
     command = [
         sys.executable, "-m", "repro", "serve",
         "--socket", socket_path,
@@ -122,6 +130,10 @@ def worker_command(
         command += ["--crash-dir", crash_dir]
     if inject:
         command += ["--inject", inject]
+    if cache_dir:
+        command += ["--cache-dir", cache_dir]
+    if lease_ttl is not None:
+        command += ["--lease-ttl", str(lease_ttl)]
     return command
 
 

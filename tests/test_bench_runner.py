@@ -112,9 +112,12 @@ class TestCompileCache:
         cached_compile_minic(DOT, "alpha", "vpo", cache=cache)
         key = cache_key(DOT, "alpha", get_config("vpo"))
         entry = tmp_path / f"{key}.json"
-        payload = json.loads(entry.read_text())
+        # Re-frame the poisoned payload with a valid checksum: the
+        # integrity check must pass so the *revive* path is what fails.
+        payload = json.loads(cache.artifacts.read(key))
         payload["module"] = "r[0] = garbage !!!"
-        entry.write_text(json.dumps(payload))
+        blob = json.dumps(payload).encode("utf-8")
+        entry.write_bytes(cache.artifacts._encode(blob))
         program = cached_compile_minic(DOT, "alpha", "vpo", cache=cache)
         assert not program.cache_hit
         assert _run_dot(program)

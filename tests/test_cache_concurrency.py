@@ -149,6 +149,113 @@ class TestCrossProcess:
         assert cache.lookup(key) is not None
 
 
+# -- cross-process single-flight ---------------------------------------------
+def _src_dir() -> str:
+    return os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+
+
+COMPILER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.bench.cache import CompileCache, cached_compile_minic
+cache = CompileCache({cache!r}, lease_ttl=1.0)
+program = cached_compile_minic(
+    {source!r}, 'alpha', 'coalesce-all', cache=cache,
+)
+print('coalesced', program.coalesced_loops)
+"""
+
+HOLDER = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.service.artifacts import ArtifactStore
+store = ArtifactStore({cache!r}, ttl=1.0)
+lease = store.acquire(sys.argv[1])
+assert lease is not None, 'could not acquire'
+print('holding', flush=True)
+time.sleep(300)  # "compiling" until SIGKILLed
+"""
+
+
+class TestCrossProcessSingleFlight:
+    """The lease protocol across real process boundaries: one compile
+    per cold key no matter how many processes race it, and a SIGKILLed
+    holder's lease is stolen — never waited on forever."""
+
+    def events(self, cache_dir):
+        from repro.service.artifacts import ArtifactStore
+
+        return ArtifactStore(cache_dir).events()
+
+    def test_racing_processes_compile_exactly_once(self, tmp_path):
+        cache_dir = str(tmp_path / "flight")
+        script = COMPILER.format(
+            src=_src_dir(), cache=cache_dir, source=SRC
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            for _ in range(3)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert "coalesced 1" in out
+        names = [e["ev"] for e in self.events(cache_dir)]
+        # The single-flight contract, verified from the durable
+        # journal: one compile, one publish, every other process
+        # served from the winner's artifact.
+        assert names.count("compile") == 1
+        assert names.count("publish") == 1
+        assert names.count("fallback") == 0
+
+    def test_sigkilled_holder_is_stolen_and_completed(self, tmp_path):
+        import signal
+
+        from repro.service.artifacts import ArtifactStore
+
+        cache_dir = str(tmp_path / "steal")
+        key = cache_key(SRC, "alpha", get_config("coalesce-all"))
+        holder = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                HOLDER.format(src=_src_dir(), cache=cache_dir), key,
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            assert holder.stdout.readline().strip() == "holding"
+            os.kill(holder.pid, signal.SIGKILL)  # mid-"compile"
+        finally:
+            holder.wait(timeout=30)  # reap: the pid probe must see death
+
+        waiter = subprocess.run(
+            [
+                sys.executable, "-c",
+                COMPILER.format(src=_src_dir(), cache=cache_dir, source=SRC),
+            ],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert waiter.returncode == 0, waiter.stderr
+        assert "coalesced 1" in waiter.stdout
+
+        events = self.events(cache_dir)
+        steals = [e for e in events if e["ev"] == "steal"]
+        assert len(steals) == 1
+        assert steals[0]["victim"] == holder.pid
+        assert steals[0]["token"] == 2  # the fencing token advanced
+        names = [e["ev"] for e in events]
+        assert names.count("publish") == 1  # exactly one surviving writer
+        # And the published artifact is genuinely usable.
+        store = ArtifactStore(cache_dir)
+        assert store.read(key) is not None
+        assert not store.lease_path(key).exists()
+
+
 # -- torn-entry recovery -----------------------------------------------------
 class TestCorruptEntries:
     def test_truncated_entry_is_dropped_not_crashed(self, tmp_path):

@@ -444,7 +444,7 @@ class TestCacheHardening:
         assert cache.lookup("k") is None
         assert not path.exists()
         assert any(
-            d.check == "compile-cache" for d in cache.sink
+            d.check == "artifact-store" for d in cache.sink
         )
 
     def test_wrong_shape_entry_is_dropped(self, tmp_path):
